@@ -1,0 +1,1 @@
+"""Benchmark harness package: one bench per paper table/figure."""

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures through ``pytest-benchmark`` (run with ``--benchmark-only``) and
+asserts the reproduction's *shape*: who wins, by what rough factor, and
+where the qualitative observations of the paper hold.
+"""
+
+import pytest
+
+
+def pedantic_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,62 @@
+"""Bench: the design-choice ablations DESIGN.md calls out."""
+
+import pytest
+
+from benchmarks.conftest import pedantic_once
+from repro.experiments import exp_ablations
+
+
+def test_bench_scoreboard_ablation(benchmark):
+    barrel, scoreboard = pedantic_once(benchmark,
+                                       exp_ablations.scoreboard_ablation)
+    # A scoreboarded front-end extracts more ILP: fewer cycles, at a
+    # higher power draw, but lower energy per kernel.
+    assert scoreboard.cycles < barrel.cycles
+    assert scoreboard.chip_dynamic_w > barrel.chip_dynamic_w
+    assert scoreboard.energy_mj < barrel.energy_mj * 1.05
+
+
+def test_bench_scheduler_ablation(benchmark):
+    points = pedantic_once(benchmark, exp_ablations.scheduler_ablation)
+    by_label = {p.label: p for p in points}
+    rr = by_label["scheduler rr"]
+    # All policies issue the same work; rotating priority (the paper's
+    # baseline) hides latency best on the regular tiled kernel.
+    assert rr.cycles <= min(p.cycles for p in points)
+    # Faster schedule -> higher power draw, similar or better energy.
+    for p in points:
+        if p.cycles > rr.cycles:
+            assert p.chip_dynamic_w < rr.chip_dynamic_w * 1.02
+
+
+def test_bench_regfile_ablation(benchmark):
+    points = pedantic_once(benchmark, exp_ablations.regfile_ablation)
+    dyn = [p.chip_dynamic_w for p in points]
+    # More banks -> more leaky, more switching periphery: monotone power.
+    assert dyn == sorted(dyn)
+
+
+def test_bench_coalescing_ablation(benchmark):
+    on, off = pedantic_once(benchmark, exp_ablations.coalescing_ablation)
+    # Disabling coalescing inflates transactions: >1.5x slower and
+    # substantially more energy for the stencil workload.
+    assert off.cycles > 1.5 * on.cycles
+    assert off.energy_mj > 1.5 * on.energy_mj
+
+
+def test_bench_warp_size_ablation(benchmark):
+    points = pedantic_once(benchmark, exp_ablations.warp_size_ablation)
+    by_label = {p.label: p for p in points}
+    # Narrower warps underutilise the fetch bandwidth on this regular
+    # kernel: warp 32 is no slower than warp 16.
+    assert by_label["warp 32"].cycles <= by_label["warp 16"].cycles
+
+
+def test_bench_node_scaling(benchmark):
+    points = pedantic_once(benchmark, exp_ablations.node_scaling)
+    by_node = {p.node_nm: p for p in points}
+    # Shrinking 40 nm -> 28 nm: area drops superlinearly; static power
+    # drops despite the leakier devices (smaller cells dominate).
+    assert by_node[28].area_mm2 < 0.7 * by_node[40].area_mm2
+    assert by_node[28].static_w < by_node[40].static_w
+    assert by_node[45].static_w > by_node[40].static_w

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 4 (cluster-activation power staircase)."""
+
+import pytest
+
+from benchmarks.conftest import pedantic_once
+from repro.experiments import exp_fig4
+
+
+def test_bench_fig4(benchmark):
+    result = pedantic_once(benchmark, exp_fig4.run)
+    print()
+    print(exp_fig4.format_table(result))
+
+    powers = [p for _, p in result.points]
+    steps = result.steps
+
+    # 12 runs, monotone increasing power.
+    assert len(result.points) == 12
+    assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    # Blocks 2-4 light new clusters: bigger steps than blocks 5-12.
+    assert min(steps[:3]) > max(steps[3:])
+
+    # The cluster-activation delta ~0.692 W (paper's Fig. 4 reading).
+    assert result.cluster_step_w == pytest.approx(
+        exp_fig4.PAPER_CLUSTER_STEP_W, rel=0.15)
+
+    # The very first block adds the global scheduler (~3.34 W) on top.
+    assert result.scheduler_w == pytest.approx(
+        exp_fig4.PAPER_SCHEDULER_W, rel=0.15)
+    first_step = powers[0] - result.active_idle_w
+    assert first_step > 3 * max(steps[3:])

@@ -1,0 +1,22 @@
+"""Bench: regenerate the Section III-D per-operation energies."""
+
+import pytest
+
+from benchmarks.conftest import pedantic_once
+from repro.experiments import exp_microbench
+
+
+def test_bench_microbench(benchmark):
+    result = pedantic_once(benchmark, exp_microbench.run)
+    print()
+    print(exp_microbench.format_table(result))
+
+    # Paper: "approximately 40 pJ" integer, "about 75 pJ" floating point.
+    assert result.int_pj == pytest.approx(exp_microbench.PAPER_INT_PJ,
+                                          abs=4.0)
+    assert result.fp_pj == pytest.approx(exp_microbench.PAPER_FP_PJ,
+                                         abs=6.0)
+    # FP costs roughly 2x INT, and both bracket NVIDIA's 50 pJ/FLOP
+    # figure the way the paper discusses.
+    assert 1.5 < result.fp_pj / result.int_pj < 2.5
+    assert result.int_pj < exp_microbench.NVIDIA_REPORTED_FP_PJ < result.fp_pj

@@ -1,0 +1,30 @@
+"""Bench: the Section II measured-vs-architectural model comparison."""
+
+import pytest
+
+from benchmarks.conftest import pedantic_once
+from repro.experiments import exp_statmodel
+
+
+def test_bench_statmodel(benchmark):
+    c = pedantic_once(benchmark, exp_statmodel.run)
+    print()
+    print(exp_statmodel.format_table(c))
+
+    # "Superior accuracy for the architecture it was built from":
+    # the fitted model clearly beats GPUSimPow on its home card.
+    assert c.stat_heldout_gt240.average_error < 0.08
+    assert (c.stat_heldout_gt240.average_error
+            < c.gpusimpow_gt240.average_error)
+
+    # "Lacks the capability to make accurate predictions about GPUs with
+    # other architectural parameters": transfer error is many times the
+    # architectural model's.
+    assert c.stat_transfer_gtx580.average_error > 0.4
+    assert (c.stat_transfer_gtx580.average_error
+            > 4 * c.gpusimpow_gtx580.average_error)
+
+    # The combined analytical+empirical model stays in its ~10% band on
+    # both cards.
+    assert c.gpusimpow_gt240.average_error < 0.15
+    assert c.gpusimpow_gtx580.average_error < 0.15

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table II (architecture key features)."""
+
+from benchmarks.conftest import pedantic_once
+from repro.experiments import exp_table2
+
+
+def test_bench_table2(benchmark):
+    rows = pedantic_once(benchmark, exp_table2.run)
+    print()
+    print(exp_table2.format_table(rows))
+    # Shape: the presets must match the paper's configuration table.
+    for gpu, expected in exp_table2.PAPER_TABLE2.items():
+        for feature, value in expected.items():
+            assert rows[gpu][feature] == value, (gpu, feature)

@@ -1,0 +1,35 @@
+"""Bench: regenerate Table V (blackscholes power breakdown, GT240)."""
+
+import pytest
+
+from benchmarks.conftest import pedantic_once
+from repro.experiments import exp_table5
+
+
+def test_bench_table5(benchmark):
+    table = pedantic_once(benchmark, exp_table5.run)
+    print()
+    print(exp_table5.format_table(table))
+
+    # GPU level: cores dominate at ~82%, then NoC > MC > PCIe.
+    total = sum(table.gpu_level["Overall"])
+    shares = {name: sum(vals) / total
+              for name, vals in table.gpu_level.items()}
+    assert shares["Cores"] == pytest.approx(0.822, abs=0.03)
+    assert shares["NoC"] > shares["Memory Controller"] > \
+        shares["PCIe Controller"]
+
+    # Core level: undifferentiated+base biggest, then execution units
+    # (~24%), register file (~12%), WCU smallest (~6%).
+    core_total = sum(table.core_level["Overall"])
+    cshare = {name: sum(vals) / core_total
+              for name, vals in table.core_level.items()}
+    assert cshare["Undiff. Core"] == pytest.approx(0.383, abs=0.03)
+    assert cshare["Execution Units"] == pytest.approx(0.244, abs=0.03)
+    assert cshare["Register File"] == pytest.approx(0.123, abs=0.02)
+    assert cshare["WCU"] == pytest.approx(0.056, abs=0.02)
+    assert cshare["WCU"] == min(
+        v for k, v in cshare.items() if k != "Overall")
+
+    # DRAM footnote ~4.3 W, excluded from the chip totals.
+    assert table.dram_w == pytest.approx(4.3, abs=1.0)

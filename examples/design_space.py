@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the use case GPUSimPow was built for.
+
+"The simulator is designed to be flexible regarding the architecture
+that is simulated to allow architects to utilize the simulator as a
+high-level tool to explore the GPU architecture design space.  For
+example, GPUSimPow is able to coherently simulate an architecture with a
+varied number of cores."
+
+This example sweeps the number of cores and the process node of a
+GT240-class chip and reports performance, power and energy per kernel,
+locating the energy-optimal core count for a compute-bound workload.
+"""
+
+from repro import Chip, GPUSimPow, gt240
+from repro.workloads import all_kernel_launches
+
+KERNEL = "BlackScholes"
+
+
+def sweep_cores() -> None:
+    print(f"core-count sweep ({KERNEL}, GT240-class, 40 nm)")
+    print(f"{'cores':>6s}{'cycles':>10s}{'total W':>9s}{'energy mJ':>11s}"
+          f"{'edp nJ*s':>10s}")
+    launch = all_kernel_launches()[KERNEL]
+    for clusters in (2, 3, 4, 6, 8):
+        config = gt240().scaled(n_clusters=clusters)
+        result = GPUSimPow(config).run(launch)
+        t = result.runtime_s
+        energy = result.chip_total_w * t
+        print(f"{config.n_cores:>6d}{result.performance.cycles:>10.0f}"
+              f"{result.chip_total_w:>9.1f}{energy * 1e3:>11.4f}"
+              f"{energy * t * 1e9:>10.3f}")
+
+
+def sweep_node() -> None:
+    print(f"\nprocess-node scaling (same GT240 architecture)")
+    print(f"{'node':>6s}{'static W':>10s}{'area mm2':>10s}{'peak W':>8s}")
+    for node in (45, 40, 32, 28):
+        chip = Chip(gt240().scaled(process_nm=float(node)))
+        print(f"{node:>4d}nm{chip.static_power_w():>10.1f}"
+              f"{chip.area_mm2():>10.1f}{chip.peak_dynamic_w():>8.0f}")
+
+
+def sweep_frequency() -> None:
+    """DVFS exploration: energy vs clock for a compute-bound kernel."""
+    print(f"\nfrequency sweep ({KERNEL}, GT240-class)")
+    print(f"{'uncore':>8s}{'runtime us':>12s}{'total W':>9s}{'energy mJ':>11s}")
+    launch = all_kernel_launches()[KERNEL]
+    for mhz in (400, 475, 550, 625, 700):
+        config = gt240().scaled(uncore_clock_hz=mhz * 1e6)
+        result = GPUSimPow(config).run(launch)
+        energy = result.chip_total_w * result.runtime_s
+        print(f"{mhz:>5d}MHz{result.runtime_s * 1e6:>12.2f}"
+              f"{result.chip_total_w:>9.1f}{energy * 1e3:>11.4f}")
+
+
+def sweep_xml_roundtrip() -> None:
+    """Show the paper's XML configuration interface."""
+    config = gt240().scaled(n_clusters=6)
+    xml = config.to_xml()
+    from repro import GPUConfig
+    restored = GPUConfig.from_xml(xml)
+    assert restored.n_cores == config.n_cores
+    print(f"\nXML interface round-trip OK "
+          f"({len(xml)} bytes describe a {restored.n_cores}-core GPU)")
+
+
+def main() -> None:
+    sweep_cores()
+    sweep_node()
+    sweep_frequency()
+    sweep_xml_roundtrip()
+
+
+if __name__ == "__main__":
+    main()

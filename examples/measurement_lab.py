@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The measurement lab: Section III-D and IV of the paper, end to end.
+
+Drives the virtual GT240 card through the riser-card testbed:
+
+1. derives the per-operation execution-unit energies with the 31-vs-1
+   enabled-lanes microbenchmarks (~40 pJ INT, ~75 pJ FP);
+2. reproduces the Fig. 4 cluster-activation staircase;
+3. estimates hardware static power by frequency extrapolation and shows
+   the idle-ratio fallback used for the GTX580.
+"""
+
+from repro import gt240, gtx580
+from repro.hw import (MeasurementTool, Testbed, VirtualGPU,
+                      derive_energy_per_op, run_cluster_staircase,
+                      static_power_by_extrapolation,
+                      static_power_by_idle_ratio)
+from repro.sim.gpu import GPU
+from repro.workloads import all_kernel_launches
+
+SPARK = " .:-=+*#%@"
+
+
+def sparkline(values, width=72):
+    """Down-sampled ASCII rendering of a waveform."""
+    import numpy as np
+    values = np.asarray(values)
+    step = max(1, len(values) // width)
+    chunks = values[:width * step].reshape(-1, step).mean(axis=1)
+    lo, hi = chunks.min(), chunks.max()
+    span = max(hi - lo, 1e-9)
+    return "".join(SPARK[int((v - lo) / span * (len(SPARK) - 1))]
+                   for v in chunks)
+
+
+def main() -> None:
+    config = gt240()
+
+    print("1. energy per operation (31-vs-1 lane differential):")
+    for kind, paper in (("int", 40), ("fp", 75)):
+        r = derive_energy_per_op(config, kind)
+        print(f"   {kind.upper():3s}: {r.energy_per_op_j * 1e12:5.1f} pJ/op "
+              f"(paper ~{paper} pJ)")
+
+    print("\n2. Fig. 4 staircase (power vs thread blocks):")
+    points = run_cluster_staircase(config)
+    prev = None
+    for blocks, power in points:
+        step = "" if prev is None else f"  (+{power - prev:.3f} W)"
+        print(f"   {blocks:2d} blocks: {power:6.2f} W{step}")
+        prev = power
+
+    print("\n3. hardware static power estimation:")
+    probe = GPU(config).run(all_kernel_launches()["BlackScholes"]).activity
+    static, p_full, p_slow = static_power_by_extrapolation(config, probe)
+    print(f"   GT240 via frequency extrapolation: {static:.1f} W "
+          f"(stock {p_full:.1f} W, -20% clock {p_slow:.1f} W)")
+    ratio = static / (static + 1.9)
+    probe580 = GPU(gtx580()).run(all_kernel_launches()["BlackScholes"]).activity
+    static580 = static_power_by_idle_ratio(gtx580(), probe580, ratio)
+    print(f"   GTX580 via idle-ratio transfer:    {static580:.1f} W "
+          f"(driver refuses clock changes, as on real hardware)")
+
+    print("\n4. raw measured power waveform (two kernels, DAQ @31.2 kHz):")
+    bed = Testbed(VirtualGPU(config), seed=12)
+    capture = bed.run_session([("burst_a", probe, 100),
+                               ("burst_b", probe, 100)])
+    tool = MeasurementTool(capture)
+    print("   " + sparkline(tool.power_waveform))
+    print(f"   min {tool.power_waveform.min():.1f} W  "
+          f"max {tool.power_waveform.max():.1f} W  "
+          f"(idle plateaus, two kernel bursts, power-gated tail)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Power profiling across the benchmark suite (the Section V-B view).
+
+Runs several Table I benchmarks on the GT240 and prints, for each, the
+component-level power profile -- showing how algorithmic character maps
+to on-chip power: BlackScholes burns in the execution units, vectorAdd
+in the memory path and DRAM, matrixMul in shared memory and the register
+file.
+"""
+
+from repro import GPUSimPow, gt240
+from repro.workloads import all_kernel_launches
+
+KERNELS = ["BlackScholes", "vectorAdd", "matrixMul", "bfs1", "hotspot"]
+
+
+def main() -> None:
+    sim = GPUSimPow(gt240())
+    launches = all_kernel_launches()
+
+    header = f"{'kernel':<14s}{'total':>8s}{'exec':>8s}{'RF':>8s}" \
+             f"{'LDSTU':>8s}{'WCU':>8s}{'NoC+MC':>8s}{'DRAM':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name in KERNELS:
+        result = sim.run(launches[name])
+        gpu = result.power.gpu
+        cores = gpu.child("Cores")
+        noc_mc = (gpu.child("NoC").total_dynamic_w
+                  + gpu.child("Memory Controller").total_dynamic_w)
+        print(f"{name:<14s}"
+              f"{result.chip_total_w:>7.1f}W"
+              f"{cores.child('Execution Units').total_dynamic_w:>7.2f}W"
+              f"{cores.child('Register File').total_dynamic_w:>7.2f}W"
+              f"{cores.child('LDSTU').total_dynamic_w:>7.2f}W"
+              f"{cores.child('WCU').total_dynamic_w:>7.2f}W"
+              f"{noc_mc:>7.2f}W"
+              f"{result.power.dram.total_dynamic_w:>7.2f}W")
+
+    # Whole benchmarks as dependent kernel chains.
+    print("\nWhole-benchmark energy (kernels chained on one memory image):")
+    print(f"{'benchmark':<12s}{'kernels':>8s}{'runtime us':>12s}"
+          f"{'avg power W':>12s}{'energy uJ':>11s}")
+    for bench in ("bfs", "mergesort", "backprop"):
+        r = sim.run_benchmark(bench)
+        print(f"{bench:<12s}{len(r.kernels):>8d}"
+              f"{r.total_runtime_s * 1e6:>12.2f}"
+              f"{r.average_power_w:>12.1f}"
+              f"{r.total_energy_j * 1e6:>11.2f}")
+
+    # Detailed tree for one kernel.
+    print("\nFull breakdown for BlackScholes (Table V of the paper):")
+    result = sim.run(launches["BlackScholes"])
+    print(result.power.gpu.format())
+    print(result.power.dram.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""GPUSimPow reproduction: a GPGPU power simulator (ISPASS 2013).
+
+Reproduces Lucas, Lal, Andersch, Alvarez-Mesa, Juurlink: "How a Single
+Chip Causes Massive Power Bills -- GPUSimPow: A GPGPU Power Simulator".
+
+Quickstart::
+
+    from repro import GPUSimPow, gt240
+    from repro.workloads import all_kernel_launches
+
+    sim = GPUSimPow(gt240())
+    result = sim.run(all_kernel_launches()["BlackScholes"])
+    print(result.power.gpu.format())
+
+Package map:
+
+* :mod:`repro.isa` -- mini SIMT instruction set + kernel builder
+* :mod:`repro.sim` -- cycle-level GPGPU performance simulator
+* :mod:`repro.power` -- GPGPU-Pow hierarchical power model
+* :mod:`repro.hw` -- virtual hardware + measurement testbed
+* :mod:`repro.workloads` -- the 19 evaluation kernels of Table I
+* :mod:`repro.core` -- the GPUSimPow facade and validation harness
+* :mod:`repro.experiments` -- per-table/figure reproduction drivers
+"""
+
+from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
+from .core.validation import SuiteValidation, validate_suite
+from .power.chip import Chip
+from .power.result import PowerNode, PowerReport
+from .sim.config import GPUConfig, gt240, gtx580, preset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureReport", "GPUSimPow", "SimulationResult",
+    "SuiteValidation", "validate_suite", "Chip", "PowerNode",
+    "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",
+]

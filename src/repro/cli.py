@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro`` / ``gpusimpow``.
+
+The paper positions GPUSimPow as a tool for two audiences -- architects
+exploring configurations and programmers profiling kernels.  The CLI
+serves both from a shell:
+
+    gpusimpow run BlackScholes --gpu GT240 --profile
+    gpusimpow run matrixMul --gpu GTX580 --save-trace trace.json
+    gpusimpow power --gpu GT240 --trace trace.json
+    gpusimpow arch --gpu GTX580
+    gpusimpow list
+    gpusimpow arch --config my_gpu.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .core.gpusimpow import GPUSimPow
+from .sim.activity import ActivityReport
+from .sim.config import GPUConfig, preset
+from .workloads import all_kernel_launches, benchmark_info, benchmark_names
+
+
+def _load_config(args) -> GPUConfig:
+    if getattr(args, "config", None):
+        with open(args.config, "r", encoding="utf-8") as handle:
+            return GPUConfig.from_xml(handle.read())
+    return preset(args.gpu)
+
+
+def _cmd_list(args) -> int:
+    print(f"{'benchmark':<14s}{'kernels':>8s}  {'origin':<10s}description")
+    for name in benchmark_names():
+        info = benchmark_info(name)
+        print(f"{info.name:<14s}{info.n_kernels:>8d}  {info.origin:<10s}"
+              f"{info.description}")
+    print("\nkernel labels:", ", ".join(sorted(all_kernel_launches())))
+    return 0
+
+
+def _cmd_arch(args) -> int:
+    config = _load_config(args)
+    arch = GPUSimPow(config).architecture()
+    print(f"{arch.name}")
+    print(f"  area:          {arch.area_mm2:8.1f} mm^2")
+    print(f"  static power:  {arch.static_power_w:8.2f} W")
+    print(f"  peak dynamic:  {arch.peak_dynamic_w:8.1f} W")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = _load_config(args)
+    launches = all_kernel_launches()
+    if args.kernel not in launches:
+        print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
+              file=sys.stderr)
+        return 2
+    sim = GPUSimPow(config)
+    result = sim.run(launches[args.kernel])
+    print(f"{args.kernel} on {config.name}:")
+    print(f"  runtime:       {result.runtime_s * 1e6:10.2f} us "
+          f"({result.performance.cycles:.0f} shader cycles, "
+          f"IPC {result.performance.ipc:.2f})")
+    print(f"  chip power:    {result.chip_total_w:10.2f} W "
+          f"({result.chip_static_w:.2f} static + "
+          f"{result.chip_dynamic_w:.2f} dynamic)")
+    print(f"  DRAM power:    {result.power.dram.total_dynamic_w:10.2f} W")
+    print(f"  energy/run:    {result.energy_j * 1e6:10.3f} uJ")
+    if args.profile:
+        print()
+        print(result.power.gpu.format())
+        print(result.power.dram.format())
+    if args.save_trace:
+        with open(args.save_trace, "w", encoding="utf-8") as handle:
+            handle.write(result.activity.to_json())
+        print(f"  activity trace written to {args.save_trace}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Utilization + efficiency analysis of one kernel (the programmer
+    view: where do the cycles and joules go?)."""
+    config = _load_config(args)
+    launches = all_kernel_launches()
+    if args.kernel not in launches:
+        print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
+              file=sys.stderr)
+        return 2
+    from .core.metrics import EfficiencyMetrics, UtilizationMetrics
+    result = GPUSimPow(config).run(launches[args.kernel])
+    eff = EfficiencyMetrics.from_result(result)
+    util = UtilizationMetrics.from_result(result)
+    print(f"{args.kernel} on {config.name}:")
+    print(f"  IPC {util.ipc:.2f}   occupancy {util.core_occupancy:.1%}   "
+          f"coalescing {util.coalescing_efficiency:.1f} lanes/txn")
+    print(f"  hit rates: L1 {util.l1_hit_rate:.1%}  "
+          f"const {util.const_hit_rate:.1%}  L2 {util.l2_hit_rate:.1%}")
+    print(f"  divergence {util.divergence_rate:.1%} of branches   "
+          f"smem conflicts {util.smem_conflict_rate:.2f} extra phases/access")
+    print("  stall breakdown: " + "  ".join(
+        f"{k} {v:.0%}" for k, v in util.stall_breakdown.items() if v > 0))
+    print(f"  energy {eff.energy_j * 1e6:.2f} uJ   "
+          f"EDP {eff.edp_js * 1e9:.3f} nJ*s   "
+          f"{eff.gflops_per_watt:.2f} GFLOPS/W   "
+          f"{eff.energy_per_instruction_j * 1e9:.2f} nJ/instr")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    """Re-run only the power model on a saved activity trace."""
+    config = _load_config(args)
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        activity = ActivityReport.from_json(handle.read())
+    from .power.chip import Chip
+    report = Chip(config).evaluate(activity)
+    print(report.gpu.format())
+    print(report.dram.format())
+    print(f"chip total {report.chip_total_w:.2f} W, "
+          f"card total {report.card_total_w:.2f} W")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    """Print the instruction listing of a workload kernel."""
+    launches = all_kernel_launches()
+    if args.kernel not in launches:
+        print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
+              file=sys.stderr)
+        return 2
+    print(launches[args.kernel].kernel.disassemble())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .core.validation import validate_suite
+    names = args.kernels.split(",") if args.kernels else None
+    suite = validate_suite(_load_config(args), kernel_names=names)
+    print(f"{suite.gpu}: avg relative error "
+          f"{suite.average_relative_error * 100:.1f}%, "
+          f"dynamic-only {suite.average_dynamic_error * 100:.1f}%, "
+          f"max {suite.max_relative_error * 100:.1f}% "
+          f"({suite.worst_kernel})")
+    for k in suite.kernels:
+        tag = "over " if k.overestimated else "under"
+        print(f"  {k.kernel:<14s} sim {k.simulated_total_w:7.2f} W  "
+              f"meas {k.measured_total_w:7.2f} W  "
+              f"{tag} {k.relative_error * 100:5.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="gpusimpow",
+        description="GPUSimPow: coupled GPGPU performance+power simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_gpu_args(p):
+        p.add_argument("--gpu", default="GT240",
+                       help="preset name (GT240, GTX580)")
+        p.add_argument("--config", default=None,
+                       help="XML configuration file (overrides --gpu)")
+
+    p_list = sub.add_parser("list", help="list benchmarks and kernels")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_arch = sub.add_parser("arch", help="area/static/peak for a config")
+    add_gpu_args(p_arch)
+    p_arch.set_defaults(func=_cmd_arch)
+
+    p_run = sub.add_parser("run", help="simulate one kernel's power")
+    p_run.add_argument("kernel", help="kernel label (see `list`)")
+    add_gpu_args(p_run)
+    p_run.add_argument("--profile", action="store_true",
+                       help="print the full component power tree")
+    p_run.add_argument("--save-trace", default=None, metavar="FILE",
+                       help="save the activity trace as JSON")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_analyze = sub.add_parser("analyze",
+                               help="utilization + efficiency analysis")
+    p_analyze.add_argument("kernel", help="kernel label (see `list`)")
+    add_gpu_args(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_power = sub.add_parser("power",
+                             help="evaluate power from a saved trace")
+    p_power.add_argument("--trace", required=True, metavar="FILE")
+    add_gpu_args(p_power)
+    p_power.set_defaults(func=_cmd_power)
+
+    p_dis = sub.add_parser("disasm",
+                           help="disassemble a workload kernel")
+    p_dis.add_argument("kernel", help="kernel label (see `list`)")
+    p_dis.set_defaults(func=_cmd_disasm)
+
+    p_val = sub.add_parser("validate",
+                           help="run the sim-vs-hardware comparison")
+    add_gpu_args(p_val)
+    p_val.add_argument("--kernels", default=None,
+                       help="comma-separated kernel subset")
+    p_val.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point: parse arguments and dispatch; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

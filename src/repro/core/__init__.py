@@ -1,0 +1,14 @@
+"""GPUSimPow public API: the coupled performance + power simulator."""
+
+from .gpusimpow import (ArchitectureReport, BenchmarkResult, GPUSimPow,
+                        SimulationResult)
+from .metrics import EfficiencyMetrics, UtilizationMetrics, compare_energy
+from .statmodel import StatisticalPowerModel
+from .validation import SuiteValidation, validate_suite
+
+__all__ = [
+    "ArchitectureReport", "BenchmarkResult", "GPUSimPow",
+    "SimulationResult",
+    "EfficiencyMetrics", "UtilizationMetrics", "compare_energy",
+    "StatisticalPowerModel", "SuiteValidation", "validate_suite",
+]

@@ -1,0 +1,161 @@
+"""The GPUSimPow facade: the Fig. 1 pipeline of the paper.
+
+GPU configuration + GPGPU kernel -> cycle-level performance simulation
+(producing activity information) -> GPGPU-Pow power model -> power and
+area results.  This is the class downstream users interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa.launch import KernelLaunch
+from ..power.chip import Chip
+from ..power.result import PowerReport
+from ..sim.activity import ActivityReport
+from ..sim.config import GPUConfig
+from ..sim.gpu import GPU, SimulationOutput
+
+
+@dataclass
+class ArchitectureReport:
+    """Workload-independent chip statistics (Section III-A outputs)."""
+
+    name: str
+    area_mm2: float
+    static_power_w: float
+    peak_dynamic_w: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything GPUSimPow produces for one kernel execution."""
+
+    kernel_name: str
+    config: GPUConfig
+    performance: SimulationOutput
+    power: PowerReport
+
+    @property
+    def activity(self) -> ActivityReport:
+        return self.performance.activity
+
+    @property
+    def runtime_s(self) -> float:
+        return self.performance.runtime_s
+
+    @property
+    def chip_static_w(self) -> float:
+        return self.power.chip_static_w
+
+    @property
+    def chip_dynamic_w(self) -> float:
+        return self.power.chip_dynamic_w
+
+    @property
+    def chip_total_w(self) -> float:
+        return self.power.chip_total_w
+
+    @property
+    def card_total_w(self) -> float:
+        """Chip + external DRAM: comparable to a card-level measurement."""
+        return self.power.card_total_w
+
+    @property
+    def energy_j(self) -> float:
+        return self.card_total_w * self.runtime_s
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "runtime_s": self.runtime_s,
+            "static_w": self.chip_static_w,
+            "dynamic_w": self.chip_dynamic_w,
+            "chip_total_w": self.chip_total_w,
+            "dram_w": self.power.dram.total_dynamic_w,
+            "card_total_w": self.card_total_w,
+        }
+
+
+class GPUSimPow:
+    """Coupled performance + power simulator for one GPU configuration."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.chip = Chip(config)
+
+    def architecture(self) -> ArchitectureReport:
+        """Static power, peak dynamic power and area of the chip."""
+        return ArchitectureReport(
+            name=self.config.name,
+            area_mm2=self.chip.area_mm2(),
+            static_power_w=self.chip.static_power_w(),
+            peak_dynamic_w=self.chip.peak_dynamic_w(),
+        )
+
+    def run(self, launch: KernelLaunch,
+            activity: Optional[ActivityReport] = None) -> SimulationResult:
+        """Simulate ``launch`` and evaluate its power.
+
+        A pre-computed ``activity`` report may be supplied to re-evaluate
+        power without re-running the performance simulation (e.g. for
+        power-model sweeps over the same workload).
+        """
+        if activity is None:
+            perf = GPU(self.config).run(launch)
+            activity = perf.activity
+        else:
+            perf = SimulationOutput(
+                config=self.config, launch=launch, activity=activity,
+                gmem=launch.build_global_memory(),
+                cycles=activity.shader_cycles,
+            )
+        power = self.chip.evaluate(activity)
+        return SimulationResult(
+            kernel_name=launch.kernel.name,
+            config=self.config,
+            performance=perf,
+            power=power,
+        )
+
+    def run_benchmark(self, name: str) -> "BenchmarkResult":
+        """Run all kernels of a Table I benchmark as a dependent chain.
+
+        Kernels execute on a shared global-memory image (the way the
+        real multi-kernel benchmarks run); each kernel gets its own
+        power evaluation, and the totals aggregate the whole benchmark.
+        """
+        from ..sim.gpu import simulate_sequence
+        from ..workloads import build_benchmark
+        launches = build_benchmark(name)
+        outputs = simulate_sequence(self.config, launches)
+        results = []
+        for launch, perf in zip(launches, outputs):
+            results.append(SimulationResult(
+                kernel_name=launch.kernel.name,
+                config=self.config,
+                performance=perf,
+                power=self.chip.evaluate(perf.activity),
+            ))
+        return BenchmarkResult(benchmark=name, kernels=results)
+
+
+@dataclass
+class BenchmarkResult:
+    """All kernels of one benchmark, run as a chain."""
+
+    benchmark: str
+    kernels: list
+
+    @property
+    def total_runtime_s(self) -> float:
+        return sum(k.runtime_s for k in self.kernels)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(k.energy_j for k in self.kernels)
+
+    @property
+    def average_power_w(self) -> float:
+        t = self.total_runtime_s
+        return self.total_energy_j / t if t > 0 else 0.0

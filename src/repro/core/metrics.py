@@ -1,0 +1,118 @@
+"""Derived efficiency metrics over simulation results.
+
+GPUSimPow's stated purpose is comparing design points and kernel
+implementations by power; architects additionally compare by the
+standard composite metrics -- energy, energy-delay product, energy per
+instruction -- and programmers by utilization figures (IPC, coalescing
+efficiency, cache hit rates, occupancy).  This module derives all of
+them from a :class:`~repro.core.gpusimpow.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gpusimpow import SimulationResult
+
+
+@dataclass(frozen=True)
+class EfficiencyMetrics:
+    """Composite power/performance metrics for one kernel run."""
+
+    kernel: str
+    gpu: str
+    runtime_s: float
+    power_w: float
+    energy_j: float
+    edp_js: float                 # energy-delay product
+    ed2p_js2: float               # energy-delay^2 product
+    energy_per_instruction_j: float
+    energy_per_lane_op_j: float
+    gflops_per_watt: float
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "EfficiencyMetrics":
+        act = result.activity
+        t = result.runtime_s
+        power = result.card_total_w
+        energy = power * t
+        instructions = max(1.0, act.issued_instructions)
+        lane_ops = max(1.0, act.int_ops + act.fp_ops + act.sfu_ops)
+        flops = act.fp_ops + act.sfu_ops
+        gflops_per_watt = (flops / t / 1e9 / power) if t > 0 else 0.0
+        return cls(
+            kernel=result.kernel_name,
+            gpu=result.config.name,
+            runtime_s=t,
+            power_w=power,
+            energy_j=energy,
+            edp_js=energy * t,
+            ed2p_js2=energy * t * t,
+            energy_per_instruction_j=energy / instructions,
+            energy_per_lane_op_j=energy / lane_ops,
+            gflops_per_watt=gflops_per_watt,
+        )
+
+
+@dataclass(frozen=True)
+class UtilizationMetrics:
+    """Architectural utilization figures for one kernel run."""
+
+    ipc: float                    # issued warp instructions / GPU cycle
+    core_occupancy: float         # busy core-cycles / (cycles x cores)
+    coalescing_efficiency: float  # lane addresses per memory transaction
+    l1_hit_rate: float
+    const_hit_rate: float
+    l2_hit_rate: float
+    divergence_rate: float        # divergent branches / branches
+    smem_conflict_rate: float     # extra phases per conflict check
+    stall_breakdown: dict         # stall reason -> fraction of stalls
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "UtilizationMetrics":
+        act = result.activity
+        cycles = max(1.0, act.shader_cycles)
+        n_cores = result.config.n_cores
+
+        def ratio(hit_part: float, total: float) -> float:
+            return hit_part / total if total > 0 else 0.0
+
+        l1_total = act.l1_reads + act.l1_writes
+        l2_total = act.l2_reads + act.l2_writes
+        stalls = {name: getattr(act, f"stall_{name}")
+                  for name in ("dependency", "unit_busy", "ldst_busy",
+                               "barrier", "empty")}
+        stall_total = sum(stalls.values())
+        breakdown = {name: (v / stall_total if stall_total else 0.0)
+                     for name, v in stalls.items()}
+        return cls(
+            ipc=act.issued_instructions / cycles,
+            core_occupancy=act.core_busy_cycles / (cycles * n_cores),
+            coalescing_efficiency=ratio(
+                act.coalescer_accesses * result.config.warp_size,
+                act.mem_transactions),
+            l1_hit_rate=ratio(l1_total - act.l1_misses, l1_total),
+            const_hit_rate=ratio(act.const_reads - act.const_misses,
+                                 act.const_reads),
+            l2_hit_rate=ratio(l2_total - act.l2_misses, l2_total),
+            divergence_rate=ratio(act.divergent_branches, act.branches),
+            smem_conflict_rate=ratio(act.smem_conflict_cycles,
+                                     act.bank_conflict_checks),
+            stall_breakdown=breakdown,
+        )
+
+
+def compare_energy(results) -> str:
+    """Tabulate efficiency metrics for several results (lowest-energy
+    first), the view a programmer optimising for power wants."""
+    metrics = sorted((EfficiencyMetrics.from_result(r) for r in results),
+                     key=lambda m: m.energy_j)
+    lines = [f"{'kernel':<16s}{'gpu':<8s}{'runtime us':>11s}{'power W':>9s}"
+             f"{'energy uJ':>11s}{'EDP nJ*s':>10s}{'GFLOPS/W':>10s}"]
+    for m in metrics:
+        lines.append(
+            f"{m.kernel:<16s}{m.gpu:<8s}{m.runtime_s * 1e6:>11.2f}"
+            f"{m.power_w:>9.1f}{m.energy_j * 1e6:>11.2f}"
+            f"{m.edp_js * 1e9:>10.3f}{m.gflops_per_watt:>10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Experiment drivers: one module per paper table/figure, plus ablations.
+
+Each module exposes ``run()`` (structured results), ``format_table()``
+(human-readable rendering) and a ``main()`` entry point, so every
+artifact can be regenerated with e.g.::
+
+    python -m repro.experiments.exp_table4
+"""
+
+from . import (exp_ablations, exp_divergence, exp_fig4, exp_fig6,
+               exp_microbench, exp_statmodel, exp_table1, exp_table2,
+               exp_table3, exp_table4, exp_table5)
+
+ALL_EXPERIMENTS = {
+    "table1": exp_table1,
+    "table2": exp_table2,
+    "table3": exp_table3,
+    "table4": exp_table4,
+    "table5": exp_table5,
+    "fig4": exp_fig4,
+    "fig6": exp_fig6,
+    "microbench": exp_microbench,
+    "statmodel": exp_statmodel,
+    "divergence": exp_divergence,
+    "ablations": exp_ablations,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [f"exp_{k}" for k in
+                                 ("ablations", "divergence", "fig4", "fig6",
+                                  "microbench", "statmodel", "table1",
+                                  "table2", "table3", "table4", "table5")]

@@ -1,0 +1,22 @@
+"""Run every experiment: python -m repro.experiments [name...]"""
+
+import sys
+
+from . import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    """Regenerate and print this artifact."""
+    names = sys.argv[1:] or list(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {name!r}; "
+                             f"have {sorted(ALL_EXPERIMENTS)}")
+        module = ALL_EXPERIMENTS[name]
+        print(f"===== {name} =====")
+        module.main()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Ablation studies over the design choices the paper's model exposes.
+
+These go beyond the paper's tables: GPUSimPow's stated purpose is letting
+"architects evaluate design choices early from a power perspective", so
+each ablation flips one architectural knob and reports performance and
+power through the unchanged pipeline:
+
+* scoreboard vs. blocking barrel execution (the GT240/GTX580 frontend
+  difference of Table II);
+* register-file bank / operand-collector sweep;
+* memory-access coalescing on vs. off;
+* warp size sweep;
+* process-node scaling via the ITRS-style technology tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.gpusimpow import GPUSimPow
+from ..power.chip import Chip
+from ..sim.config import GPUConfig, gt240
+from ..workloads import all_kernel_launches
+
+
+@dataclass
+class AblationPoint:
+    """One configuration's outcome on one kernel."""
+
+    label: str
+    kernel: str
+    cycles: float
+    chip_dynamic_w: float
+    chip_total_w: float
+    energy_mj: float
+
+    @classmethod
+    def measure(cls, label: str, config: GPUConfig, kernel: str) -> "AblationPoint":
+        launch = all_kernel_launches()[kernel]
+        result = GPUSimPow(config).run(launch)
+        return cls(
+            label=label,
+            kernel=kernel,
+            cycles=result.performance.cycles,
+            chip_dynamic_w=result.chip_dynamic_w,
+            chip_total_w=result.chip_total_w,
+            energy_mj=result.chip_total_w * result.runtime_s * 1e3,
+        )
+
+
+def scoreboard_ablation(kernel: str = "BlackScholes") -> List[AblationPoint]:
+    """Barrel (GT240 default) vs. scoreboarded front-end."""
+    base = gt240()
+    with_sb = base.scaled(has_scoreboard=True)
+    return [
+        AblationPoint.measure("barrel (no scoreboard)", base, kernel),
+        AblationPoint.measure("scoreboard", with_sb, kernel),
+    ]
+
+
+def regfile_ablation(kernel: str = "matrixMul") -> List[AblationPoint]:
+    """Register file bank-count sweep (power-side sensitivity)."""
+    points = []
+    for banks in (8, 16, 32):
+        cfg = gt240().scaled(regfile_banks=banks)
+        points.append(AblationPoint.measure(f"{banks} RF banks", cfg, kernel))
+    return points
+
+
+def coalescing_ablation(kernel: str = "hotspot") -> List[AblationPoint]:
+    """Coalescing on vs. off for a partially-coalesced stencil."""
+    return [
+        AblationPoint.measure("coalescing on", gt240(), kernel),
+        AblationPoint.measure("coalescing off",
+                              gt240().scaled(coalescing_enabled=False),
+                              kernel),
+    ]
+
+
+def scheduler_ablation(kernel: str = "matrixMul") -> List[AblationPoint]:
+    """Warp scheduling policy sweep (the paper's §VI future-work list
+    names two-level scheduling as a candidate for power evaluation)."""
+    points = []
+    for policy in ("rr", "gto", "two_level"):
+        cfg = gt240().scaled(warp_scheduler=policy)
+        points.append(AblationPoint.measure(f"scheduler {policy}", cfg,
+                                            kernel))
+    return points
+
+
+def warp_size_ablation(kernel: str = "BlackScholes") -> List[AblationPoint]:
+    """Warp size sweep (divergence and frontend-rate effects)."""
+    points = []
+    for warp in (16, 32, 64):
+        cfg = gt240().scaled(warp_size=warp)
+        points.append(AblationPoint.measure(f"warp {warp}", cfg, kernel))
+    return points
+
+
+@dataclass
+class NodeScalingPoint:
+    node_nm: float
+    static_w: float
+    area_mm2: float
+    peak_dynamic_w: float
+
+
+def node_scaling() -> List[NodeScalingPoint]:
+    """The same GT240 architecture rendered at several process nodes."""
+    points = []
+    for node in (45.0, 40.0, 32.0, 28.0):
+        chip = Chip(gt240().scaled(process_nm=node))
+        points.append(NodeScalingPoint(
+            node_nm=node,
+            static_w=chip.static_power_w(),
+            area_mm2=chip.area_mm2(),
+            peak_dynamic_w=chip.peak_dynamic_w(),
+        ))
+    return points
+
+
+def run() -> Dict[str, list]:
+    """Run every ablation; returns a dict of result lists."""
+    return {
+        "scoreboard": scoreboard_ablation(),
+        "scheduler": scheduler_ablation(),
+        "regfile_banks": regfile_ablation(),
+        "coalescing": coalescing_ablation(),
+        "warp_size": warp_size_ablation(),
+        "node_scaling": node_scaling(),
+    }
+
+
+def format_table(results: Dict[str, list]) -> str:
+    """Render the result as an aligned text table."""
+    lines = ["Ablation studies (GT240 baseline)"]
+    for name, points in results.items():
+        lines.append(f"-- {name}")
+        if name == "node_scaling":
+            for p in points:
+                lines.append(f"   {p.node_nm:4.0f} nm: static {p.static_w:6.2f} W"
+                             f"  area {p.area_mm2:6.1f} mm^2"
+                             f"  peak dyn {p.peak_dynamic_w:6.1f} W")
+        else:
+            for p in points:
+                lines.append(f"   {p.label:<24s} [{p.kernel}] "
+                             f"cycles {p.cycles:9.0f}  dyn {p.chip_dynamic_w:6.2f} W"
+                             f"  total {p.chip_total_w:6.2f} W"
+                             f"  energy {p.energy_mj:7.3f} mJ")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Regenerate and print this artifact."""
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Fig. 4: power vs. thread-block count on the GT240.
+
+"Power measurement results of a GT240 card running the same kernel 12
+times with increasing number of thread blocks.  The GT240 features 12
+cores distributed evenly over 4 core clusters."
+
+The reproduction runs the staircase on the virtual card through the full
+measurement chain and extracts the two step heights the paper reads off
+the figure: ~0.692 W per newly activated cluster (blocks 2-4) and the
+~3.34 W global-scheduler activation hidden in the first block's step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..hw.microbench import run_cluster_staircase
+from ..hw.virtual_gpu import VirtualGPU
+from ..sim.config import GPUConfig, gt240
+
+#: Paper values read from Fig. 4 / Section III-D.
+PAPER_CLUSTER_STEP_W = 0.692
+PAPER_SCHEDULER_W = 3.34
+
+
+@dataclass
+class StaircaseResult:
+    """Power plateaus and derived step structure."""
+
+    points: List[Tuple[int, float]]   # (blocks, measured W)
+    active_idle_w: float
+    cluster_step_w: float             # extra W per new cluster
+    core_step_w: float                # W per additional core
+    scheduler_w: float                # first-block extra beyond cluster+core
+
+    @property
+    def steps(self) -> List[float]:
+        powers = [p for _, p in self.points]
+        return [b - a for a, b in zip(powers, powers[1:])]
+
+
+def run(config: GPUConfig | None = None, seed: int = 5) -> StaircaseResult:
+    """Run the Fig. 4 experiment."""
+    config = config or gt240()
+    points = run_cluster_staircase(config, seed=seed)
+    powers = [p for _, p in points]
+    steps = [b - a for a, b in zip(powers, powers[1:])]
+    n_clusters = config.n_clusters
+    # Blocks 2..n_clusters activate a new cluster each; later blocks only
+    # add a core.
+    cluster_steps = steps[:n_clusters - 1]
+    core_steps = steps[n_clusters - 1:]
+    core_step = sum(core_steps) / len(core_steps)
+    cluster_step = sum(cluster_steps) / len(cluster_steps) - core_step
+    idle = VirtualGPU(config).active_idle_w
+    first_step = powers[0] - idle
+    scheduler = first_step - cluster_step - core_step
+    return StaircaseResult(
+        points=points,
+        active_idle_w=idle,
+        cluster_step_w=cluster_step,
+        core_step_w=core_step,
+        scheduler_w=scheduler,
+    )
+
+
+def format_table(r: StaircaseResult) -> str:
+    """Render the result as an aligned text table."""
+    lines = ["Fig. 4: power vs. thread blocks (GT240 staircase)",
+             f"{'blocks':>8s}{'power [W]':>12s}{'step [W]':>10s}"]
+    prev = r.active_idle_w
+    for blocks, power in r.points:
+        lines.append(f"{blocks:>8d}{power:>12.2f}{power - prev:>10.3f}")
+        prev = power
+    lines.append(f"derived cluster activation: {r.cluster_step_w:.3f} W "
+                 f"(paper {PAPER_CLUSTER_STEP_W})")
+    lines.append(f"derived global scheduler:   {r.scheduler_w:.2f} W "
+                 f"(paper {PAPER_SCHEDULER_W})")
+    lines.append(f"per-core step:              {r.core_step_w:.3f} W")
+    return "\n".join(lines)
+
+
+def format_chart(r: StaircaseResult) -> str:
+    """The staircase rendered as a bar chart (the shape of Fig. 4)."""
+    from .figures import fig4_chart
+    return fig4_chart(r.points, r.active_idle_w)
+
+
+def main() -> None:
+    """Regenerate and print this artifact."""
+    result = run()
+    print(format_table(result))
+    print(format_chart(result))
+
+
+if __name__ == "__main__":
+    main()

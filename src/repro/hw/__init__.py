@@ -1,0 +1,21 @@
+"""Virtual hardware and the power-measurement testbed (Section IV)."""
+
+from .daq import DAQ, SAMPLE_RATE_HZ
+from .measure import KernelMeasurement, MeasurementTool
+from .microbench import (EnergyPerOpResult, derive_energy_per_op,
+                         run_cluster_staircase)
+from .sensors import ResistiveDivider, ShuntMonitor
+from .static_power import (gt240_static_idle_ratio,
+                           static_power_by_extrapolation,
+                           static_power_by_idle_ratio)
+from .testbed import MeasurementCapture, Testbed
+from .virtual_gpu import CARDS, UnsupportedByDriver, VirtualGPU
+
+__all__ = [
+    "DAQ", "SAMPLE_RATE_HZ", "KernelMeasurement", "MeasurementTool",
+    "EnergyPerOpResult", "derive_energy_per_op", "run_cluster_staircase",
+    "ResistiveDivider", "ShuntMonitor", "gt240_static_idle_ratio",
+    "static_power_by_extrapolation", "static_power_by_idle_ratio",
+    "MeasurementCapture", "Testbed", "CARDS", "UnsupportedByDriver",
+    "VirtualGPU",
+]

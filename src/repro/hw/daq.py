@@ -1,0 +1,53 @@
+"""NI USB-6210 data-acquisition model (Section IV-A).
+
+The conditioned signals are sampled by an NI USB-6210 USB DAQ "at a rate
+of 31.2 kHz".  In the relevant -5..5 V range the device has a specified
+gain accuracy of 0.0085% and an offset error of 0.1 mV; it digitizes
+with a 16-bit converter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Aggregate sample rate used by the paper's tool.
+SAMPLE_RATE_HZ = 31_200.0
+
+#: Input range of the +/-5 V setting.
+RANGE_V = 5.0
+
+#: 16-bit ADC.
+ADC_LEVELS = 1 << 16
+
+GAIN_ACCURACY = 0.000085
+OFFSET_V = 0.1e-3
+
+
+@dataclass
+class DAQ:
+    """Multi-channel sampling with quantization and spec-sheet errors."""
+
+    rng: np.random.Generator
+    sample_rate_hz: float = SAMPLE_RATE_HZ
+
+    def sample(self, signal_v: np.ndarray) -> np.ndarray:
+        """Digitize one channel's already-time-sampled waveform.
+
+        The caller provides the signal at the DAQ sample instants; this
+        applies range clipping, gain/offset error, thermal noise, and
+        16-bit quantization.
+        """
+        gain = 1.0 + self.rng.uniform(-GAIN_ACCURACY, GAIN_ACCURACY)
+        offset = self.rng.uniform(-OFFSET_V, OFFSET_V)
+        noise = self.rng.normal(0.0, 0.2e-3, size=signal_v.shape)
+        v = signal_v * gain + offset + noise
+        v = np.clip(v, -RANGE_V, RANGE_V)
+        lsb = 2 * RANGE_V / ADC_LEVELS
+        return np.round(v / lsb) * lsb
+
+    def timebase(self, duration_s: float) -> np.ndarray:
+        """Sample instants covering ``duration_s``."""
+        n = max(2, int(duration_s * self.sample_rate_hz))
+        return np.arange(n) / self.sample_rate_hz

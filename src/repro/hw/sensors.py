@@ -1,0 +1,87 @@
+"""Signal-conditioning chain of the measurement testbed (Section IV-A).
+
+The paper's hardware: 20 mOhm probing resistors on the PCIe slot's 12 V
+and 3.3 V rails (on a riser card), 10 mOhm resistors spliced into the
+external PCIe power cables, a resistive divider scaling rail voltages
+into the 0-5 V range, and Analog Devices AD8210 current-shunt monitors
+amplifying the shunt drops into a usable common-mode range.
+
+Error model, straight from the paper's figures: the divider is built
+from 1% resistors with +/-1.7% gain accuracy and no offset error; the
+AD8210 has +/-0.5% gain accuracy and +/-1 mV output offset (which at
+12 V corresponds to up to 60 mW of power error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: AD8210 fixed gain (V/V).
+AD8210_GAIN = 20.0
+
+
+@dataclass(frozen=True)
+class ShuntMonitor:
+    """A probing resistor plus AD8210 current-shunt monitor.
+
+    Attributes:
+        shunt_ohm: Sense resistor value (20 mOhm on slot rails, 10 mOhm
+            in the external power cables).
+        gain_error: Multiplicative gain error, drawn once per physical
+            channel within +/-0.5%.
+        offset_v: Output offset voltage, within +/-1 mV.
+    """
+
+    shunt_ohm: float
+    gain_error: float = 0.0
+    offset_v: float = 0.0
+
+    def output(self, current_a: np.ndarray) -> np.ndarray:
+        """Monitor output voltage for a rail-current waveform."""
+        drop = current_a * self.shunt_ohm
+        return drop * AD8210_GAIN * (1.0 + self.gain_error) + self.offset_v
+
+    def current_from_output(self, v_out: np.ndarray) -> np.ndarray:
+        """Nominal inversion the measurement tool applies (it does not
+        know the channel's true gain/offset errors)."""
+        return v_out / (AD8210_GAIN * self.shunt_ohm)
+
+
+@dataclass(frozen=True)
+class ResistiveDivider:
+    """Divider scaling a rail voltage into the DAQ's 0-5 V range.
+
+    Attributes:
+        ratio: Nominal division ratio (output = input / ratio).
+        gain_error: Within +/-1.7% (1% resistors); no offset error.
+    """
+
+    ratio: float
+    gain_error: float = 0.0
+
+    def output(self, rail_v: np.ndarray) -> np.ndarray:
+        return rail_v / self.ratio * (1.0 + self.gain_error)
+
+    def voltage_from_output(self, v_out: np.ndarray) -> np.ndarray:
+        """Nominal inversion (true gain error unknown to the tool)."""
+        return v_out * self.ratio
+
+
+def make_monitor(rng: np.random.Generator, shunt_ohm: float) -> ShuntMonitor:
+    """Manufacture a monitor channel with realistic part tolerances."""
+    return ShuntMonitor(
+        shunt_ohm=shunt_ohm,
+        gain_error=rng.uniform(-0.005, 0.005),
+        offset_v=rng.uniform(-1e-3, 1e-3),
+    )
+
+
+def make_divider(rng: np.random.Generator, rail_v: float) -> ResistiveDivider:
+    """Manufacture a divider sized for ``rail_v`` (maps to ~4 V)."""
+    ratio = max(1.0, rail_v / 4.0)
+    return ResistiveDivider(
+        ratio=ratio,
+        gain_error=rng.uniform(-0.017, 0.017),
+    )

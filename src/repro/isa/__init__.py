@@ -1,0 +1,14 @@
+"""Mini SIMT ISA: instructions, kernels, launches, CFG analysis."""
+
+from .instructions import (ALL_OPS, CTRL_OPS, FP_OPS, INT_OPS, MEM_OPS,
+                           SFU_OPS, Imm, Instruction, Pred, Reg, Sreg,
+                           unit_class)
+from .kernel import Kernel, KernelBuilder
+from . import lib
+from .launch import Dim3, KernelLaunch
+
+__all__ = [
+    "ALL_OPS", "CTRL_OPS", "FP_OPS", "INT_OPS", "MEM_OPS", "SFU_OPS",
+    "Imm", "Instruction", "Pred", "Reg", "Sreg", "unit_class",
+    "Kernel", "KernelBuilder", "Dim3", "KernelLaunch", "lib",
+]

@@ -1,0 +1,133 @@
+"""Control-flow analysis for reconvergence points.
+
+The stack-based divergence mechanism of the paper (after the Coon &
+Lindholm patent) needs every potentially divergent branch to know its
+*reconvergence PC* -- the point where the serialized sides of the branch
+rejoin.  Real GPUs get this from the compiler (SSY instructions); our
+assembler computes it as the immediate post-dominator of the branch
+instruction over the kernel's control-flow graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .instructions import Instruction
+
+#: Sentinel PC used as reconvergence point for branches whose sides only
+#: rejoin at kernel exit.  One past the last instruction.
+EXIT_PC_SENTINEL = -1
+
+
+def basic_block_leaders(instructions: Sequence[Instruction]) -> List[int]:
+    """Return sorted PCs that start a basic block."""
+    leaders: Set[int] = {0} if instructions else set()
+    for pc, inst in enumerate(instructions):
+        if inst.is_branch:
+            if inst.target is None:
+                raise ValueError(f"unresolved branch target at pc {pc}")
+            if 0 <= inst.target < len(instructions):
+                leaders.add(inst.target)
+            if pc + 1 < len(instructions):
+                leaders.add(pc + 1)
+        elif inst.op == "EXIT" and pc + 1 < len(instructions):
+            leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def build_cfg(instructions: Sequence[Instruction]) -> Dict[int, List[int]]:
+    """Build a block-level CFG: leader PC -> successor leader PCs.
+
+    A virtual exit node :data:`EXIT_PC_SENTINEL` collects all terminating
+    paths so post-dominance is well defined even with multiple EXITs.
+    """
+    leaders = basic_block_leaders(instructions)
+    leader_set = set(leaders)
+    cfg: Dict[int, List[int]] = {EXIT_PC_SENTINEL: []}
+    for i, leader in enumerate(leaders):
+        end = leaders[i + 1] if i + 1 < len(leaders) else len(instructions)
+        last = instructions[end - 1]
+        succs: List[int] = []
+        if last.op == "EXIT":
+            succs.append(EXIT_PC_SENTINEL)
+        elif last.op == "JMP":
+            succs.append(last.target if last.target in leader_set else EXIT_PC_SENTINEL)
+        elif last.op == "BRA":
+            succs.append(last.target if last.target in leader_set else EXIT_PC_SENTINEL)
+            succs.append(end if end in leader_set else EXIT_PC_SENTINEL)
+        else:
+            succs.append(end if end in leader_set else EXIT_PC_SENTINEL)
+        # Deduplicate while keeping order.
+        cfg[leader] = list(dict.fromkeys(succs))
+    return cfg
+
+
+def post_dominators(cfg: Dict[int, List[int]]) -> Dict[int, Set[int]]:
+    """Iterative post-dominator sets over the block CFG."""
+    nodes = list(cfg)
+    pdom: Dict[int, Set[int]] = {n: set(nodes) for n in nodes}
+    pdom[EXIT_PC_SENTINEL] = {EXIT_PC_SENTINEL}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == EXIT_PC_SENTINEL:
+                continue
+            succs = cfg[node]
+            if succs:
+                new = set.intersection(*(pdom[s] for s in succs))
+            else:
+                new = set()
+            new = new | {node}
+            if new != pdom[node]:
+                pdom[node] = new
+                changed = True
+    return pdom
+
+
+def immediate_post_dominators(cfg: Dict[int, List[int]]) -> Dict[int, int]:
+    """Immediate post-dominator of each block leader.
+
+    The ipdom of ``n`` is the post-dominator (other than ``n``) that is
+    post-dominated by every other strict post-dominator of ``n`` -- i.e.
+    the *closest* one on every path to exit.
+    """
+    pdom = post_dominators(cfg)
+    ipdom: Dict[int, int] = {}
+    for node in cfg:
+        if node == EXIT_PC_SENTINEL:
+            continue
+        strict = pdom[node] - {node}
+        best = EXIT_PC_SENTINEL
+        for cand in strict:
+            # cand is the immediate pdom if every other strict pdom
+            # post-dominates cand.
+            if all(other == cand or other in pdom[cand] for other in strict):
+                best = cand
+                break
+        ipdom[node] = best
+    return ipdom
+
+
+def attach_reconvergence_pcs(instructions: Sequence[Instruction]) -> None:
+    """Annotate every conditional branch with its reconvergence PC.
+
+    Mutates ``inst.reconv_pc`` in place.  Unconditional JMPs never
+    diverge and get no reconvergence point.
+    """
+    if not instructions:
+        return
+    leaders = basic_block_leaders(instructions)
+    cfg = build_cfg(instructions)
+    ipdom = immediate_post_dominators(cfg)
+
+    # Map each pc to its block leader.
+    block_of: Dict[int, int] = {}
+    for i, leader in enumerate(leaders):
+        end = leaders[i + 1] if i + 1 < len(leaders) else len(instructions)
+        for pc in range(leader, end):
+            block_of[pc] = leader
+
+    for pc, inst in enumerate(instructions):
+        if inst.op == "BRA":
+            inst.reconv_pc = ipdom[block_of[pc]]

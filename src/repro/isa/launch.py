@@ -1,0 +1,83 @@
+"""Kernel launch geometry (grids, blocks) and launch descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA-style 3D extent; only ``x`` is commonly used by our workloads."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError("dimensions must be >= 1")
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+
+@dataclass
+class KernelLaunch:
+    """A kernel plus everything needed to run it.
+
+    Attributes:
+        kernel: The assembled kernel.
+        grid: Number of thread blocks.
+        block: Threads per block.
+        globals_init: Mapping of word offset -> numpy array to preload
+            into global memory before the launch.
+        const_init: Array preloaded into constant memory.
+        gmem_words: Size of the global memory image in 32-bit words.
+        params: Free-form launch metadata (problem sizes etc.), recorded
+            in reports.
+        repeat: How many times the measurement harness runs the kernel
+            back-to-back (the paper repeats kernels shorter than 500 us
+            a hundred times to get reliable power readings).
+        repeatable: False for kernels that process data in place and
+            "could not easily be changed" to run back-to-back (the
+            paper's third mergeSort kernel); the measurement harness
+            must interleave host-side data restores, which dilutes the
+            measured power window.
+    """
+
+    kernel: Kernel
+    grid: Dim3
+    block: Dim3
+    globals_init: Dict[int, np.ndarray] = field(default_factory=dict)
+    const_init: Optional[np.ndarray] = None
+    gmem_words: int = 1 << 16
+    params: Dict[str, float] = field(default_factory=dict)
+    repeat: int = 1
+    repeatable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block.count < 1:
+            raise ValueError("empty thread block")
+        needed = max(
+            (off + len(arr) for off, arr in self.globals_init.items()),
+            default=0,
+        )
+        if needed > self.gmem_words:
+            self.gmem_words = int(needed)
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid.count * self.block.count
+
+    def build_global_memory(self) -> np.ndarray:
+        """Materialise the initial global-memory image (float64 words)."""
+        gmem = np.zeros(self.gmem_words, dtype=np.float64)
+        for offset, arr in self.globals_init.items():
+            gmem[offset:offset + len(arr)] = np.asarray(arr, dtype=np.float64)
+        return gmem

@@ -1,0 +1,7 @@
+"""GPGPU-Pow: hierarchical (technology/circuit/architecture) power model."""
+
+from .chip import Chip
+from .result import PowerNode, PowerReport
+from .tech import TechNode, tech_node
+
+__all__ = ["Chip", "PowerNode", "PowerReport", "TechNode", "tech_node"]

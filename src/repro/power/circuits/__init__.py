@@ -1,0 +1,18 @@
+"""Circuit tier: CACTI-lite arrays, CAMs, crossbars, wires, logic, clocks."""
+
+from .array import ArrayOrganisation, dff_storage, sram_array
+from .base import CircuitEstimate, merge_estimates
+from .cam import cam_array
+from .clock import clock_network
+from .logic import (comparator, fsm, instruction_decoder, logic_block,
+                    priority_encoder, rotating_priority_scheduler)
+from .wires import repeated_wire
+from .xbar import crossbar
+
+__all__ = [
+    "ArrayOrganisation", "dff_storage", "sram_array",
+    "CircuitEstimate", "merge_estimates", "cam_array", "clock_network",
+    "comparator", "fsm", "instruction_decoder", "logic_block",
+    "priority_encoder", "rotating_priority_scheduler", "repeated_wire",
+    "crossbar",
+]

@@ -1,0 +1,74 @@
+"""Content-addressable memory (CAM) circuit model.
+
+Cache-like structures in the paper's warp control unit -- the instruction
+buffer and the scoreboard -- are "tagged by the warp ID" with
+associativity greater than one.  A lookup broadcasts the warp ID on
+matchlines against every tag, which is exactly a CAM search.  This module
+models such tag-match structures: a search touches all entries' match
+logic; a read/write of the payload behaves like a small SRAM access.
+"""
+
+from __future__ import annotations
+
+from ..tech import TechNode
+from .array import ArrayOrganisation, sram_array
+from .base import CircuitEstimate, merge_estimates
+
+#: A CAM cell is a 6T SRAM cell plus comparison transistors (9T/10T cells
+#: are typical); area and leakage grow accordingly.
+_CAM_CELL_FACTOR = 1.6
+
+#: Gate equivalents switched per tag bit during a search (XOR compare +
+#: matchline segment).
+_SEARCH_GATE_EQ_PER_BIT = 1.5
+
+
+def cam_array(name: str, entries: int, tag_bits: int, payload_bits: int,
+              tech: TechNode, ports: int = 1) -> CircuitEstimate:
+    """Model a CAM: ``entries`` of (``tag_bits`` match + payload SRAM).
+
+    Defines operations:
+
+    * ``"search"`` -- broadcast a key against all tags (all matchlines
+      charged) and read the hit entry's payload;
+    * ``"read"`` / ``"write"`` -- direct indexed payload access.
+    """
+    if entries <= 0 or tag_bits <= 0:
+        raise ValueError("CAM needs positive entries and tag bits")
+
+    payload = sram_array(
+        f"{name}.payload",
+        ArrayOrganisation(words=entries, bits_per_word=max(1, payload_bits),
+                          rw_ports=ports),
+        tech,
+    )
+
+    tag_cell_area = tech.sram_cell_area * _CAM_CELL_FACTOR
+    tag_area = entries * tag_bits * tag_cell_area * 1.3  # periphery
+    tag_leak = (entries * tag_bits * tech.sram_cell_leak * tech.vdd
+                * _CAM_CELL_FACTOR)
+
+    # A search switches the search-lines (tag_bits wires spanning all
+    # entries) and, on average, precharges/discharges most matchlines.
+    e_search_tags = (entries * tag_bits * _SEARCH_GATE_EQ_PER_BIT
+                     * tech.energy_cv2(tech.logic_gate_cap))
+    e_search = e_search_tags + payload.energy("read")
+
+    tags = CircuitEstimate(
+        name=f"{name}.tags",
+        area=tag_area,
+        energies={"search": e_search},
+        leakage_w=tag_leak,
+    )
+    merged = merge_estimates(name, [tags, payload])
+    # merge would add payload read into search twice; rebuild explicitly.
+    return CircuitEstimate(
+        name=name,
+        area=tags.area + payload.area,
+        energies={
+            "search": e_search,
+            "read": payload.energy("read"),
+            "write": payload.energy("write") + 0.2 * e_search_tags,
+        },
+        leakage_w=merged.leakage_w,
+    )

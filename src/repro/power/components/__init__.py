@@ -1,0 +1,16 @@
+"""Architecture-tier power components (one module per paper component)."""
+
+from .base import Component
+from .basepower import ClusterBasePower, CoreBasePower, UndiffCorePower
+from .dram import DRAMPower
+from .exec_units import ExecutionUnitsPower
+from .ldst import LDSTPower
+from .regfile import RegisterFilePower
+from .uncore import L2Power, MemoryControllerPower, NoCPower, PCIePower
+from .wcu import WCUPower
+
+__all__ = [
+    "Component", "ClusterBasePower", "CoreBasePower", "UndiffCorePower",
+    "DRAMPower", "ExecutionUnitsPower", "LDSTPower", "RegisterFilePower",
+    "L2Power", "MemoryControllerPower", "NoCPower", "PCIePower", "WCUPower",
+]

@@ -1,0 +1,128 @@
+"""Empirical base-power and undifferentiated-core components.
+
+Paper, Section III-D: "there are areas of GPU architecture where publicly
+available information is especially scarce, such as the raster operations
+pipelines (ROPs) or fixed-function video decode hardware ... we used our
+measurement equipment to build empirical models of 'base power' for cores
+and core clusters."  And Section V-B: the undifferentiated core covers
+"a per-core fraction of the global GPU components that can only be
+modeled empirically"; since no activity factors exist for it, "the entire
+power consumption for the undifferentiated core is attributed as static
+power".
+
+Three components:
+
+* :class:`CoreBasePower` -- per-*active*-core dynamic power (Table V:
+  0.199 W on the GT240);
+* :class:`ClusterBasePower` -- per-*active*-cluster dynamic power (the
+  0.692 W staircase steps of Fig. 4), plus the global scheduler power
+  (the 3.34 W first step) while any block is in flight;
+* :class:`UndiffCorePower` -- per-core static power anchored per
+  thousand thread slots, covering everything without a detailed model.
+"""
+
+from __future__ import annotations
+
+from ...sim.activity import ActivityReport
+from ...sim.config import GPUConfig
+from .. import empirical
+from ..tech import TechNode
+from .base import Component
+
+#: Undifferentiated static power per 1024 thread slots at 40 nm (W).
+#: Fitted so a GT240 core (768 slots) carries the paper's 0.886 W.
+UNDIFF_W_PER_KSLOT_40NM = 0.886 / (768.0 / 1024.0)
+
+
+class CoreBasePower(Component):
+    """Per-active-core empirical base power (dynamic)."""
+
+    def __init__(self, config: GPUConfig, tech: TechNode) -> None:
+        super().__init__("Base Power", tech)
+        self.config = config
+        # The anchor was measured on an 8-lane GT200 core; wider cores
+        # carry proportionally more unmodeled per-core infrastructure.
+        width_scale = config.n_fp_lanes / 8.0
+        scale = (empirical.dynamic_scale(tech) * width_scale
+                 * empirical.frequency_scale(config.shader_clock_hz,
+                                             empirical.ANCHOR_SHADER_CLOCK_HZ))
+        self.per_core_w = empirical.CORE_BASE_DYNAMIC_W_40NM * scale
+
+    def area_m2(self) -> float:
+        return 0.0
+
+    def leakage_w(self) -> float:
+        return 0.0
+
+    def switching_w(self, act: ActivityReport) -> float:
+        return self.per_core_w * act.active_cores
+
+    def runtime_dynamic_w(self, act: ActivityReport) -> float:
+        # Measured anchor: no short-circuit uplift on top.
+        return self.switching_w(act)
+
+    def peak_dynamic_w(self) -> float:
+        return self.per_core_w * self.config.n_cores
+
+
+class ClusterBasePower(Component):
+    """Per-active-cluster power plus global scheduler power (dynamic)."""
+
+    def __init__(self, config: GPUConfig, tech: TechNode) -> None:
+        super().__init__("Cluster/Scheduler Base", tech)
+        self.config = config
+        # Cluster infrastructure grows with the lanes it feeds (the
+        # anchor cluster fed 3 cores x 8 lanes).
+        width_scale = (config.cores_per_cluster * config.n_fp_lanes) / 24.0
+        scale = empirical.dynamic_scale(tech) * empirical.frequency_scale(
+            config.uncore_clock_hz, 550e6)
+        self.per_cluster_w = (empirical.CLUSTER_ACTIVATION_W_40NM * scale
+                              * width_scale)
+        self.scheduler_w = empirical.GLOBAL_SCHEDULER_W_40NM * scale
+
+    def area_m2(self) -> float:
+        return 0.0
+
+    def leakage_w(self) -> float:
+        return 0.0
+
+    def switching_w(self, act: ActivityReport) -> float:
+        if act.active_clusters <= 0:
+            return 0.0
+        return self.per_cluster_w * act.active_clusters
+
+    def runtime_dynamic_w(self, act: ActivityReport) -> float:
+        return self.switching_w(act)
+
+    def peak_dynamic_w(self) -> float:
+        return self.per_cluster_w * self.config.n_clusters
+
+
+class UndiffCorePower(Component):
+    """Undifferentiated per-core transistors, attributed as static power."""
+
+    def __init__(self, config: GPUConfig, tech: TechNode) -> None:
+        super().__init__("Undiff. Core", tech)
+        self.config = config
+        kslots = config.max_threads_per_core / 1024.0
+        self.per_core_w = (UNDIFF_W_PER_KSLOT_40NM * kslots
+                           * empirical.static_scale(tech)
+                           * config.leakage_bin)
+        # The undifferentiated transistors occupy real silicon; the area
+        # density anchor converts the GT240's 0.886 W over its share of
+        # unexplained area.
+        self._area_per_core = (self.per_core_w
+                               / empirical.UNDIFF_STATIC_W_PER_MM2_40NM * 1e-6
+                               / config.leakage_bin)
+
+    def area_m2(self) -> float:
+        return self._area_per_core * self.config.n_cores
+
+    def leakage_w(self) -> float:
+        return self.per_core_w * self.config.n_cores
+
+    def switching_w(self, act: ActivityReport) -> float:
+        return 0.0
+
+    def peak_dynamic_w(self) -> float:
+        return 0.0

@@ -1,0 +1,54 @@
+"""Shared cache circuit construction (tag array + data array)."""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits.array import ArrayOrganisation, sram_array
+from ..circuits.base import CircuitEstimate
+from ..tech import TechNode
+
+#: Physical address width assumed for tag sizing.
+ADDRESS_BITS = 40
+
+
+def cache_circuit(name: str, size_bytes: int, line_bytes: int, assoc: int,
+                  tech: TechNode, ports: int = 1) -> CircuitEstimate:
+    """Model a set-associative cache as tag + data SRAM arrays.
+
+    A read probes ``assoc`` tags and reads one data line; a write updates
+    one tag way and one data line.  The returned energies fold both
+    arrays together under ``"read"`` / ``"write"``.
+    """
+    if size_bytes <= 0:
+        raise ValueError("cache must have a positive size")
+    lines = size_bytes // line_bytes
+    sets = max(1, lines // assoc)
+    index_bits = max(1, math.ceil(math.log2(sets)))
+    offset_bits = max(1, math.ceil(math.log2(line_bytes)))
+    tag_bits = max(1, ADDRESS_BITS - index_bits - offset_bits) + 2  # +state
+
+    data = sram_array(
+        f"{name}.data",
+        ArrayOrganisation(words=lines, bits_per_word=line_bytes * 8,
+                          banks=max(1, assoc), rw_ports=ports),
+        tech,
+    )
+    tags = sram_array(
+        f"{name}.tags",
+        ArrayOrganisation(words=sets, bits_per_word=tag_bits * assoc,
+                          rw_ports=ports),
+        tech,
+    )
+    # Way comparators: assoc parallel tag compares.
+    cmp_energy = assoc * tag_bits * 1.5 * tech.energy_cv2(tech.logic_gate_cap)
+
+    return CircuitEstimate(
+        name=name,
+        area=data.area + tags.area,
+        energies={
+            "read": data.energy("read") + tags.energy("read") + cmp_energy,
+            "write": data.energy("write") + tags.energy("write") + cmp_energy,
+        },
+        leakage_w=data.leakage_w + tags.leakage_w,
+    )

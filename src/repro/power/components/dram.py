@@ -1,0 +1,116 @@
+"""GDDR5 graphics DRAM power model.
+
+Paper, Section III-C5: "The power consumed by typical DDR or GDDR chips
+can be divided into background, activate, read/write, termination, and
+refresh power.  We extract numbers for each of these components from
+industry data sheets."  This module implements that five-component
+decomposition with datasheet-style constants for a 1 Gb GDDR5 device
+(Hynix H5GQ1H24AFR class): IDD-derived background power, energy per
+activate, energy per read/write burst, I/O + termination energy per bit
+transferred, and energy per refresh.
+
+DRAM is external to the GPU chip, so the chip representation reports it
+as a separate tree (Table V explicitly excludes the 4.3 W of DRAM power
+from the on-chip breakdown).
+"""
+
+from __future__ import annotations
+
+from ...sim.activity import ActivityReport
+from ...sim.config import GPUConfig
+from ..result import PowerNode
+from ..tech import TechNode
+from .base import Component
+
+#: Device supply voltage (GDDR5 nominal VDD/VDDQ).
+GDDR5_VDD = 1.5
+
+#: Background (standby, some banks active) current per device (A).
+IDD_BACKGROUND = 0.100
+
+#: Energy of one row activate+precharge pair per device (J).
+E_ACTIVATE = 4.4e-9
+
+#: Core energy of one 32-byte read or write burst (J).
+E_BURST_RW = 5.0e-9
+
+#: I/O driver + on-die-termination energy per data bit moved (J).
+E_IO_PER_BIT = 4.5e-12
+
+#: Energy of one all-bank refresh (J).
+E_REFRESH = 28e-9
+
+#: Data-bus width of one GDDR5 device (bits).
+DEVICE_BITS = 32
+
+
+class DRAMPower(Component):
+    """External GDDR5 memory power (per card)."""
+
+    def __init__(self, config: GPUConfig, tech: TechNode) -> None:
+        super().__init__("GDDR5 DRAM", tech)
+        self.config = config
+        bus_bits = config.dram_bus_bits_per_partition * config.n_mem_partitions
+        self.n_devices = max(1, bus_bits // DEVICE_BITS)
+
+    # The DRAM is off-chip: no die area or chip leakage contribution.
+    def area_m2(self) -> float:
+        return 0.0
+
+    def leakage_w(self) -> float:
+        return 0.0
+
+    @property
+    def background_w(self) -> float:
+        """Always-on background power of all devices."""
+        return self.n_devices * IDD_BACKGROUND * GDDR5_VDD
+
+    def component_powers(self, act: ActivityReport) -> dict:
+        """The five Micron-methodology components, in watts."""
+        if act.runtime_s <= 0:
+            return {"background": self.background_w, "activate": 0.0,
+                    "read_write": 0.0, "termination": 0.0, "refresh": 0.0}
+        t = act.runtime_s
+        bursts = act.dram_reads + act.dram_writes
+        bits_moved = bursts * self.config.dram_burst_bytes * 8
+        return {
+            "background": self.background_w,
+            "activate": act.dram_activates * E_ACTIVATE / t,
+            "read_write": bursts * E_BURST_RW / t,
+            "termination": bits_moved * E_IO_PER_BIT / t,
+            "refresh": act.dram_refreshes * E_REFRESH * self.n_devices / t,
+        }
+
+    def switching_w(self, act: ActivityReport) -> float:
+        parts = self.component_powers(act)
+        return sum(parts.values())
+
+    def runtime_dynamic_w(self, act: ActivityReport) -> float:
+        # DRAM constants already include all switching effects; no
+        # short-circuit uplift.
+        return self.switching_w(act)
+
+    def peak_dynamic_w(self) -> float:
+        """All channels streaming at full bandwidth."""
+        bw = self.config.dram_bandwidth_bytes_per_s
+        bursts_per_s = bw / self.config.dram_burst_bytes
+        act_per_s = bursts_per_s / 4  # one activate per ~4 bursts
+        return (self.background_w
+                + act_per_s * E_ACTIVATE
+                + bursts_per_s * E_BURST_RW
+                + bw * 8 * E_IO_PER_BIT)
+
+    def node(self, act: ActivityReport) -> PowerNode:
+        parts = self.component_powers(act)
+        children = [
+            PowerNode(name=f"DRAM {key}", dynamic_w=value)
+            for key, value in parts.items()
+        ]
+        return PowerNode(
+            name=self.name,
+            static_w=0.0,
+            dynamic_w=0.0,
+            peak_dynamic_w=self.peak_dynamic_w(),
+            area_mm2=0.0,
+            children=children,
+        )

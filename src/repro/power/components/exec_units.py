@@ -1,0 +1,70 @@
+"""Power model of the SIMD execution units (INT, FP, SFU).
+
+The paper models these *empirically* (Section III-D): the per-instruction
+energies of the integer and floating-point units come from the 31-vs-1
+enabled-lanes differential microbenchmarks (~40 pJ / ~75 pJ at 40 nm,
+against NVIDIA's published 50 pJ/FLOP); SFU power/area follows the
+constrained piecewise-quadratic design of De Caro et al., and FPU area
+the study of Galal & Horowitz, both scaled to the target node.
+"""
+
+from __future__ import annotations
+
+from ...sim.activity import ActivityReport
+from ...sim.config import GPUConfig
+from .. import empirical
+from ..tech import TechNode
+from .base import Component
+
+#: Leakage per execution lane at 40 nm (W).  Execution units are small,
+#: heavily power-gated datapaths; Table V shows only ~10 mW leakage for
+#: a whole GT240 core's execution units.
+INT_LANE_LEAKAGE_40NM = 2.0e-4
+FP_LANE_LEAKAGE_40NM = 3.5e-4
+SFU_LEAKAGE_40NM = 2.6e-3
+
+
+class ExecutionUnitsPower(Component):
+    """Whole-GPU execution unit power (all cores)."""
+
+    def __init__(self, config: GPUConfig, tech: TechNode) -> None:
+        super().__init__("Execution Units", tech)
+        self.config = config
+        dyn = empirical.dynamic_scale(tech)
+        stat = empirical.static_scale(tech)
+        self.e_int = empirical.INT_OP_ENERGY_40NM * dyn
+        self.e_fp = empirical.FP_OP_ENERGY_40NM * dyn
+        self.e_sfu = empirical.SFU_OP_ENERGY_40NM * dyn
+        n_cores = config.n_cores
+        self._leakage = n_cores * stat * (
+            config.n_int_lanes * INT_LANE_LEAKAGE_40NM
+            + config.n_fp_lanes * FP_LANE_LEAKAGE_40NM
+            + config.n_sfu * SFU_LEAKAGE_40NM
+        )
+        area_scale = (tech.feature_nm / empirical.ANCHOR_NODE_NM) ** 2
+        self._area = n_cores * area_scale * (
+            config.n_int_lanes * empirical.INT_AREA_40NM
+            + config.n_fp_lanes * empirical.FPU_AREA_40NM
+            + config.n_sfu * empirical.SFU_AREA_40NM
+        )
+
+    def area_m2(self) -> float:
+        return self._area
+
+    def leakage_w(self) -> float:
+        return self._leakage
+
+    def switching_w(self, act: ActivityReport) -> float:
+        return self.event_power(act, [
+            (act.int_ops, self.e_int),
+            (act.fp_ops, self.e_fp),
+            (act.sfu_ops, self.e_sfu),
+        ])
+
+    def peak_dynamic_w(self) -> float:
+        """Every lane of every unit active every shader cycle."""
+        cfg = self.config
+        per_cycle = (cfg.n_int_lanes * self.e_int
+                     + cfg.n_fp_lanes * self.e_fp
+                     + cfg.n_sfu * self.e_sfu)
+        return per_cycle * cfg.shader_clock_hz * cfg.n_cores

@@ -1,0 +1,111 @@
+"""Empirical anchors of the power model (Section III-D of the paper).
+
+GPUSimPow is a *combined* analytical + empirical model: regular
+structures come from the CACTI-like circuit tier, while irregular or
+undocumented components are anchored by measurements on real hardware.
+This module holds those measured anchors, all obtained on the GT240 with
+the paper's testbed methodology (reproduced in :mod:`repro.hw`):
+
+* per-instruction execution-unit energies from the 31-vs-1 enabled-lanes
+  differential microbenchmarks (~40 pJ integer, ~75 pJ floating point;
+  NVIDIA independently reports 50 pJ/FLOP for a comparable node);
+* "base power" for cores, clusters and the global scheduler, obtained by
+  measuring core/cluster power and subtracting all modeled components
+  (Fig. 4: +3.34 W when the first block activates the chip, +0.692 W per
+  newly activated cluster);
+* the per-core "undifferentiated core" leakage that covers structures
+  with no public documentation (ROPs, video decode, global scheduler),
+  attributed as static power because no activity factors exist for them.
+
+Anchors measured at 40 nm on the GT240 are transferred to other
+configurations by first-order technology scaling: dynamic energies scale
+with C*V^2 (capacitance ~ feature size at constant design), static power
+with leakage density and area.
+"""
+
+from __future__ import annotations
+
+from .tech import TechNode, tech_node
+
+#: Measured energy per integer instruction per lane (J).  Section III-D:
+#: "integer instructions are using approximately 40 pJ".
+INT_OP_ENERGY_40NM = 40e-12
+
+#: Measured energy per floating-point instruction per lane (J).
+#: Section III-D: "floating point instructions are using about 75 pJ per
+#: instruction".
+FP_OP_ENERGY_40NM = 75e-12
+
+#: SFU energy per transcendental operation per lane (J); scaled from the
+#: constrained piecewise-quadratic SFU design of De Caro et al. (ISCAS
+#: 2008) to 40 nm.  SFUs evaluate polynomials on wide datapaths, several
+#: times the energy of an FMA.
+SFU_OP_ENERGY_40NM = 100e-12
+
+#: FPU area at 40 nm (m^2 per lane), following the energy-efficient FPU
+#: design study of Galal & Horowitz (IEEE ToC 2011).
+FPU_AREA_40NM = 0.020e-6
+INT_AREA_40NM = 0.012e-6
+SFU_AREA_40NM = 0.050e-6
+
+#: Fig. 4 staircase: power added by activating a core cluster (W).
+CLUSTER_ACTIVATION_W_40NM = 0.692
+
+#: Fig. 4 staircase: power added when the very first block activates the
+#: global scheduler (W): 3.34 W total first-step extra.
+GLOBAL_SCHEDULER_W_40NM = 3.34
+
+#: Per-core dynamic base power while the core executes (W); Table V row
+#: "Base Power" (0.199 W dynamic on the GT240).  Covers per-core
+#: components only modeled empirically (intra-core clocking, pipeline
+#: latches, control we cannot enumerate).
+CORE_BASE_DYNAMIC_W_40NM = 0.199
+
+#: Per-core undifferentiated static power *density* (W per mm^2 of core
+#: area).  Table V: 0.886 W per GT240 core; the GT240 core measures about
+#: 5.6 mm^2 in our model, giving ~0.158 W/mm^2 at 40 nm.  Expressing the
+#: anchor as a density lets it transfer to larger cores (GF110).
+UNDIFF_STATIC_W_PER_MM2_40NM = 0.158
+
+#: Reference node the anchors were measured at.
+ANCHOR_NODE_NM = 40.0
+
+
+def dynamic_scale(tech: TechNode) -> float:
+    """Scale a measured 40 nm dynamic energy to another node.
+
+    First-order: switched capacitance shrinks with feature size (constant
+    design), energy with C * V^2.
+    """
+    ref = tech_node(ANCHOR_NODE_NM)
+    cap_ratio = tech.feature_nm / ref.feature_nm
+    v_ratio = (tech.vdd / ref.vdd) ** 2
+    return cap_ratio * v_ratio
+
+
+def static_scale(tech: TechNode) -> float:
+    """Scale a measured 40 nm static power to another node.
+
+    Leakage per area grows with the node's leakage density; the area of
+    a fixed design shrinks quadratically.
+    """
+    ref = tech_node(ANCHOR_NODE_NM)
+    density_ratio = ((tech.i_sub_per_um + tech.i_gate_per_um) * tech.vdd) / (
+        (ref.i_sub_per_um + ref.i_gate_per_um) * ref.vdd
+    )
+    area_ratio = (tech.feature_nm / ref.feature_nm) ** 2
+    return density_ratio * area_ratio
+
+
+def frequency_scale(clock_hz: float, ref_clock_hz: float) -> float:
+    """Scale a measured *power* anchor to a different clock frequency.
+
+    Dynamic base powers are proportional to clock frequency (Eq. 1).
+    """
+    if ref_clock_hz <= 0:
+        raise ValueError("reference clock must be positive")
+    return clock_hz / ref_clock_hz
+
+
+#: Shader clock of the GT240, the platform the anchors were measured on.
+ANCHOR_SHADER_CLOCK_HZ = 550e6 * 2.47

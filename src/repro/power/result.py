@@ -1,0 +1,128 @@
+"""Power/area result structures (the shape of Table V).
+
+The chip representation produces a tree of :class:`PowerNode` -- one node
+per architectural component, mirroring the two-level breakdown the paper
+prints: GPU (cores / NoC / memory controller / PCIe controller) and,
+within a core, base power / WCU / register file / execution units /
+LDST unit / undifferentiated core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class PowerNode:
+    """Power and area of one component, with sub-components.
+
+    ``static_w`` is leakage (sub-threshold + gate); ``dynamic_w`` is
+    runtime dynamic power *including* short-circuit power (the paper's
+    Eq. 1 sums both switching terms).  Own values exclude children;
+    the ``total_*`` properties include them.
+    """
+
+    name: str
+    static_w: float = 0.0
+    dynamic_w: float = 0.0
+    peak_dynamic_w: float = 0.0
+    area_mm2: float = 0.0
+    children: List["PowerNode"] = field(default_factory=list)
+
+    @property
+    def total_static_w(self) -> float:
+        return self.static_w + sum(c.total_static_w for c in self.children)
+
+    @property
+    def total_dynamic_w(self) -> float:
+        return self.dynamic_w + sum(c.total_dynamic_w for c in self.children)
+
+    @property
+    def total_peak_dynamic_w(self) -> float:
+        return self.peak_dynamic_w + sum(c.total_peak_dynamic_w
+                                         for c in self.children)
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.area_mm2 + sum(c.total_area_mm2 for c in self.children)
+
+    @property
+    def total_w(self) -> float:
+        return self.total_static_w + self.total_dynamic_w
+
+    def child(self, name: str) -> "PowerNode":
+        """Find a direct child by name (raises KeyError if absent)."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        raise KeyError(f"{self.name} has no child {name!r}")
+
+    def find(self, name: str) -> Optional["PowerNode"]:
+        """Depth-first search of the subtree by name."""
+        if self.name == name:
+            return self
+        for c in self.children:
+            hit = c.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def walk(self) -> Iterator["PowerNode"]:
+        """Yield self and all descendants, depth-first."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def format(self, indent: int = 0) -> str:
+        """Human-readable tree rendering."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.name:<24s} static {self.total_static_w:8.3f} W  "
+            f"dynamic {self.total_dynamic_w:8.3f} W  "
+            f"area {self.total_area_mm2:8.2f} mm^2"
+        ]
+        for c in self.children:
+            lines.append(c.format(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class PowerReport:
+    """Complete output of one GPUSimPow power evaluation.
+
+    Attributes:
+        gpu: Root of the chip power tree ("GPU").
+        dram: External graphics DRAM power (reported separately, as in
+            Table V's note: "this table does not include the power
+            consumed by the external DRAM").
+        runtime_s: Kernel runtime the dynamic numbers are averaged over.
+    """
+
+    gpu: PowerNode
+    dram: PowerNode
+    runtime_s: float
+
+    @property
+    def chip_static_w(self) -> float:
+        return self.gpu.total_static_w
+
+    @property
+    def chip_dynamic_w(self) -> float:
+        return self.gpu.total_dynamic_w
+
+    @property
+    def chip_total_w(self) -> float:
+        return self.gpu.total_w
+
+    @property
+    def card_total_w(self) -> float:
+        """Chip plus external DRAM: what the card-level testbed measures."""
+        return self.gpu.total_w + self.dram.total_w
+
+    @property
+    def area_mm2(self) -> float:
+        return self.gpu.total_area_mm2
+
+    def format(self) -> str:
+        return self.gpu.format() + "\n" + self.dram.format()

@@ -1,0 +1,453 @@
+"""One SIMT core: warp control unit + register file + execution units +
+load/store unit, driven as a discrete-event engine.
+
+The core steps at shader-clock granularity but is only *stepped* at
+cycles where it can plausibly make progress; when every warp is blocked
+it reports the earliest wake-up time so the GPU-level event loop can skip
+idle cycles.  All timestamps are absolute shader cycles (floats).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..isa.instructions import Instruction, Reg
+from ..isa.kernel import Kernel
+from ..isa.launch import KernelLaunch
+from .config import GPUConfig
+from .exec_units import ExecutionUnits
+from .functional import branch_taken_mask, execute_alu
+from .ldst import LoadStoreUnit
+from .memsys import MemorySystem
+from .regfile import RegisterFile
+from .warp import Warp
+from .wcu import WarpControlUnit
+
+
+class SimulationDeadlock(RuntimeError):
+    """Raised when live warps exist but none can ever issue again."""
+
+
+@dataclass
+class BlockResidence:
+    """One thread block resident on the core."""
+
+    block_id: int
+    warps: List[Warp] = field(default_factory=list)
+    live_warps: int = 0
+    barrier_arrived: int = 0
+    smem: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class Core:
+    """A single SIMT core executing warps of one kernel launch."""
+
+    def __init__(self, core_id: int, config: GPUConfig,
+                 memsys: MemorySystem) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.memsys = memsys
+        self.wcu = WarpControlUnit(config)
+        self.regfile = RegisterFile(config)
+        self.exec_units = ExecutionUnits(config)
+        self.ldst: Optional[LoadStoreUnit] = None
+        # Launch context (set by prepare()).
+        self.kernel: Optional[Kernel] = None
+        self.launch: Optional[KernelLaunch] = None
+        self.max_concurrent_blocks = 0
+        # Runtime state.
+        self.blocks: Dict[int, BlockResidence] = {}
+        self.warps: List[Warp] = []
+        self._events: List[tuple] = []  # (time, seq, warp, reg, is_mem)
+        self._event_seq = 0
+        self._rr = 0
+        self._last_issued = 0       # for the greedy-then-oldest policy
+        self._active_group = 0      # for the two-level policy
+        # Statistics.
+        self.busy_cycles = 0
+        self.issued = 0
+        self.blocks_executed = 0
+        #: Stall attribution: cycles the core was stepped but could not
+        #: issue, by dominant reason.
+        self.stall_cycles: Dict[str, int] = {
+            "dependency": 0, "unit_busy": 0, "ldst_busy": 0,
+            "barrier": 0, "empty": 0,
+        }
+        self.stack_pushes = 0
+        self.stack_pops = 0
+        self.stack_reads = 0
+        self.branches = 0
+        self.divergent_branches = 0
+        self.barriers = 0
+
+    # -- launch setup ---------------------------------------------------------
+
+    def prepare(self, kernel: Kernel, launch: KernelLaunch,
+                gmem: np.ndarray, cmem: Optional[np.ndarray]) -> None:
+        """Bind a kernel launch to the core and size the block slots."""
+        self.kernel = kernel
+        self.launch = launch
+        self.ldst = LoadStoreUnit(self.config, self.memsys, gmem, cmem)
+        cfg = self.config
+        threads = launch.block.count
+        warps_per_block = -(-threads // cfg.warp_size)
+        limits = [
+            cfg.max_blocks_per_core,
+            cfg.max_threads_per_core // threads,
+            cfg.max_warps_per_core // warps_per_block,
+        ]
+        if kernel.smem_words > 0:
+            limits.append((cfg.smem_size // 4) // kernel.smem_words)
+        regs_per_block = threads * kernel.n_regs
+        if regs_per_block > 0:
+            limits.append(cfg.regfile_regs_per_core // regs_per_block)
+        self.max_concurrent_blocks = max(0, min(limits))
+
+    @property
+    def free_slots(self) -> int:
+        return self.max_concurrent_blocks - len(self.blocks)
+
+    @property
+    def idle(self) -> bool:
+        return not self.warps and not self._events
+
+    @property
+    def ever_used(self) -> bool:
+        return self.blocks_executed > 0 or bool(self.blocks)
+
+    def assign_block(self, block_id: int) -> None:
+        """Place one thread block (all its warps) onto the core."""
+        if self.free_slots <= 0:
+            raise RuntimeError("no free block slot")
+        assert self.kernel is not None and self.launch is not None
+        cfg = self.config
+        kernel = self.kernel
+        launch = self.launch
+        threads = launch.block.count
+        warp_size = cfg.warp_size
+        n_warps = -(-threads // warp_size)
+        residence = BlockResidence(
+            block_id=block_id,
+            smem=np.zeros(max(1, kernel.smem_words), dtype=np.float64),
+        )
+        lane = np.arange(warp_size, dtype=np.float64)
+        for w in range(n_warps):
+            base = w * warp_size
+            tid = lane + base
+            valid = tid < threads
+            specials = {
+                "tid": tid,
+                "ctaid": np.full(warp_size, float(block_id)),
+                "ntid": np.full(warp_size, float(threads)),
+                "nctaid": np.full(warp_size, float(launch.grid.count)),
+                "laneid": lane.copy(),
+                "warpid": np.full(warp_size, float(w)),
+                "gtid": tid + block_id * threads,
+            }
+            warp = Warp(
+                warp_id=len(self.warps) + w,
+                block_slot=block_id,
+                block_id=block_id,
+                kernel=kernel,
+                specials=specials,
+                warp_size=warp_size,
+                initial_mask=valid,
+            )
+            residence.warps.append(warp)
+        residence.live_warps = n_warps
+        self.blocks[block_id] = residence
+        self.warps.extend(residence.warps)
+
+    # -- event plumbing ------------------------------------------------------------
+
+    def _schedule(self, time: float, warp: Warp, reg: Optional[int],
+                  is_mem: bool) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (time, self._event_seq, warp, reg, is_mem))
+
+    def _drain_events(self, now: float) -> None:
+        while self._events and self._events[0][0] <= now:
+            _, _, warp, reg, is_mem = heapq.heappop(self._events)
+            self.wcu.scoreboard.release(warp, reg)
+            if is_mem:
+                warp.outstanding_memory -= 1
+                if warp.outstanding_memory == 0 and warp.done:
+                    block = self.blocks.get(warp.block_slot)
+                    if block is not None and block.live_warps <= 0:
+                        self._retire_block(block)
+
+    # -- main step -----------------------------------------------------------------
+
+    def step(self, now: float) -> Optional[float]:
+        """Simulate the core at cycle ``now``.
+
+        Returns the next time the core wants to be stepped, or None when
+        it is completely idle (no warps, no events).
+        """
+        self._drain_events(now)
+        if not self.warps:
+            if self._events:
+                return self._events[0][0]
+            return None
+
+        self.wcu.account_schedule_cycle()
+        issued_any = False
+        wake_candidates: List[float] = []
+        reasons: Dict[str, int] = {}
+        cfg = self.config
+        for _ in range(cfg.issue_width):
+            issued = self._try_issue_one(now, wake_candidates, reasons)
+            issued_any = issued_any or issued
+            if not issued:
+                break
+        if issued_any:
+            self.busy_cycles += 1
+            return now + 1.0
+
+        # Nothing issued: find the earliest plausible wake-up.
+        if self._events:
+            wake_candidates.append(self._events[0][0])
+        live = [w for w in self.warps if not w.done]
+        if not live:
+            # Warps all done but block cleanup pending happens at issue
+            # time; clean now.
+            self._reap_finished()
+            return self._events[0][0] if self._events else (None if not self.warps else now + 1.0)
+        if not wake_candidates:
+            if all(w.at_barrier for w in live):
+                raise SimulationDeadlock(
+                    f"core {self.core_id}: all live warps stuck at a barrier"
+                )
+            raise SimulationDeadlock(
+                f"core {self.core_id}: no runnable warp and no pending event"
+            )
+        wake = max(now + 1.0, min(wake_candidates))
+        # Attribute the stalled cycles to the dominant blocking reason.
+        reason = max(reasons, key=reasons.get) if reasons else "empty"
+        self.stall_cycles[reason] += max(1, round(wake - now))
+        return wake
+
+    def _scan_order(self) -> List[int]:
+        """Warp visit order for this issue slot, per scheduling policy.
+
+        * ``rr`` -- rotating priority from the round-robin pointer (the
+          paper's baseline scheduler of Fig. 2);
+        * ``gto`` -- greedy-then-oldest: keep issuing the warp that
+          issued last until it stalls, then fall back to warp age;
+        * ``two_level`` -- Narasiman-style fetch groups: exhaust the
+          active group before visiting other groups (which therefore
+          arrive at long-latency operations staggered in time).
+        """
+        n = len(self.warps)
+        policy = self.config.warp_scheduler
+        if policy == "rr":
+            return [(self._rr + i) % n for i in range(n)]
+        if policy == "gto":
+            last = min(self._last_issued, n - 1)
+            return [last] + [i for i in range(n) if i != last]
+        group = max(1, self.config.scheduler_group_size)
+        active = self._active_group
+        in_group = [i for i in range(n) if (i // group) == active]
+        outside = [i for i in range(n) if (i // group) != active]
+        return in_group + outside
+
+    def _note_issued(self, index: int) -> None:
+        self._last_issued = index
+        self._active_group = index // max(1, self.config.scheduler_group_size)
+        self._rr = (index + 1) % max(1, len(self.warps))
+
+    def _try_issue_one(self, now: float, wake: List[float],
+                       reasons: Optional[Dict[str, int]] = None) -> bool:
+        cfg = self.config
+        has_sb = cfg.has_scoreboard
+        if reasons is None:
+            reasons = {}
+
+        def blocked(reason: str) -> None:
+            reasons[reason] = reasons.get(reason, 0) + 1
+
+        for index in self._scan_order():
+            warp = self.warps[index]
+            if warp.done:
+                continue
+            if warp.at_barrier:
+                blocked("barrier")
+                continue
+            if now < warp.blocked_until:
+                wake.append(warp.blocked_until)
+                blocked("dependency")
+                continue
+            if has_sb and not self.wcu.scoreboard.can_reserve(warp):
+                blocked("dependency")
+                continue  # wake via writeback event
+            inst = warp.kernel.instructions[warp.pc]
+            if has_sb and inst.unit != "ctrl":
+                if self.wcu.scoreboard.has_hazard(
+                        warp, inst.reads_regs, inst.writes_reg):
+                    blocked("dependency")
+                    continue  # wake via writeback event
+            unit = inst.unit
+            if unit in ("int", "fp", "sfu"):
+                if not self.exec_units.can_accept(unit, now):
+                    wake.append(self.exec_units.groups[unit].free_at)
+                    blocked("unit_busy")
+                    continue
+            elif unit == "mem":
+                assert self.ldst is not None
+                if not self.ldst.can_accept(now):
+                    wake.append(self.ldst.busy_until)
+                    blocked("ldst_busy")
+                    continue
+            self._issue(warp, inst, now)
+            self._note_issued(index)
+            return True
+        return False
+
+    # -- instruction issue -----------------------------------------------------
+
+    def _issue(self, warp: Warp, inst: Instruction, now: float) -> None:
+        pc, active = warp.stack.current()
+        self.stack_reads += 1
+        self.wcu.account_issue(warp.warp_id % self.config.max_warps_per_core, pc)
+        self.issued += 1
+        warp.instructions_issued += 1
+
+        unit = inst.unit
+        if unit == "ctrl":
+            self._issue_ctrl(warp, inst, pc, active, now)
+        elif unit == "mem":
+            self._issue_mem(warp, inst, pc, active, now)
+        else:
+            self._issue_alu(warp, inst, pc, active, now, unit)
+        if warp.done or warp.stack.empty:
+            self._finish_warp(warp)
+
+    def _issue_alu(self, warp: Warp, inst: Instruction, pc: int,
+                   active: np.ndarray, now: float, unit: str) -> None:
+        ctx = warp.ctx
+        mask = ctx.guard_mask(inst, active)
+        lanes = int(mask.sum())
+        n_src = len(inst.reads_regs)
+        self.regfile.read_operands(n_src, lanes)
+        self.regfile.dispatch()
+        completion = self.exec_units.issue(unit, now, lanes)
+        execute_alu(inst, ctx, mask)
+        dst = inst.writes_reg
+        if dst is not None:
+            self.regfile.write_result(lanes)
+            self.wcu.scoreboard.reserve(warp, dst)
+            self._schedule(completion, warp, dst, is_mem=False)
+        warp.stack.advance(pc + 1)
+        if self.config.has_scoreboard:
+            warp.blocked_until = now + 1.0
+        else:
+            warp.blocked_until = completion
+
+    def _issue_mem(self, warp: Warp, inst: Instruction, pc: int,
+                   active: np.ndarray, now: float) -> None:
+        assert self.ldst is not None
+        ctx = warp.ctx
+        mask = ctx.guard_mask(inst, active)
+        lanes = int(mask.sum())
+        n_src = len(inst.reads_regs)
+        self.regfile.read_operands(n_src, lanes)
+        self.regfile.dispatch()
+        smem = self.blocks[warp.block_slot].smem
+        completion = self.ldst.execute(inst, ctx, mask, smem, now)
+        dst = inst.writes_reg
+        if dst is not None:
+            self.regfile.write_result(lanes)
+            self.wcu.scoreboard.reserve(warp, dst)
+            warp.outstanding_memory += 1
+            self._schedule(completion, warp, dst, is_mem=True)
+        warp.stack.advance(pc + 1)
+        if self.config.has_scoreboard:
+            warp.blocked_until = now + 1.0
+        else:
+            warp.blocked_until = completion
+
+    def _issue_ctrl(self, warp: Warp, inst: Instruction, pc: int,
+                    active: np.ndarray, now: float) -> None:
+        op = inst.op
+        if op == "NOP":
+            warp.stack.advance(pc + 1)
+            warp.blocked_until = now + 1.0
+        elif op == "JMP":
+            warp.stack.advance(inst.target)
+            warp.blocked_until = now + self.config.branch_latency_cycles
+        elif op == "BRA":
+            self.branches += 1
+            taken = branch_taken_mask(inst, warp.ctx, active)
+            diverged = warp.stack.diverge(taken, inst.target, pc + 1,
+                                          inst.reconv_pc)
+            if diverged:
+                self.divergent_branches += 1
+            warp.blocked_until = now + self.config.branch_latency_cycles
+        elif op == "BAR":
+            self.barriers += 1
+            warp.stack.advance(pc + 1)
+            warp.at_barrier = True
+            self._barrier_arrive(warp)
+        elif op == "EXIT":
+            mask = warp.ctx.guard_mask(inst, active)
+            warp.stack.exit_lanes(mask)
+            if warp.stack.empty:
+                warp.done = True
+            elif warp.stack.current()[0] == pc:
+                warp.stack.advance(pc + 1)
+            warp.blocked_until = now + 1.0
+        else:
+            raise ValueError(f"unhandled control op {op}")
+
+    # -- block/barrier management --------------------------------------------------
+
+    def _barrier_arrive(self, warp: Warp) -> None:
+        block = self.blocks[warp.block_slot]
+        block.barrier_arrived += 1
+        self._maybe_release_barrier(block)
+
+    def _maybe_release_barrier(self, block: BlockResidence) -> None:
+        if block.live_warps > 0 and block.barrier_arrived >= block.live_warps:
+            block.barrier_arrived = 0
+            for w in block.warps:
+                if not w.done:
+                    w.at_barrier = False
+
+    def _finish_warp(self, warp: Warp) -> None:
+        warp.done = True
+        block = self.blocks.get(warp.block_slot)
+        if block is None:
+            return
+        block.live_warps -= 1
+        if block.live_warps <= 0:
+            self._retire_block(block)
+        else:
+            # A warp exiting may satisfy a barrier the rest waits on.
+            self._maybe_release_barrier(block)
+
+    def _retire_block(self, block: BlockResidence) -> None:
+        # The block slot frees only when no warp has outstanding traffic.
+        if any(w.outstanding_memory > 0 for w in block.warps):
+            return
+        for warp in block.warps:
+            self.absorb_warp_stats(warp)
+        del self.blocks[block.block_id]
+        self.warps = [w for w in self.warps if w.block_slot != block.block_id]
+        self._rr = 0
+        self.blocks_executed += 1
+
+    def _reap_finished(self) -> None:
+        for block in list(self.blocks.values()):
+            if block.live_warps <= 0:
+                self._retire_block(block)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def absorb_warp_stats(self, warp: Warp) -> None:
+        """Accumulate a retired warp's divergence-stack activity."""
+        self.stack_pushes += warp.stack.pushes
+        self.stack_pops += warp.stack.pops

@@ -1,0 +1,80 @@
+"""SIMD execution unit pipelines (INT, FP, SFU).
+
+Paper, Section III-C3: "The GPU has a set of SIMD execution units which
+execute the warp threads in lock step.  For example, the SIMT core in
+the NVIDIA GT240 has eight fully pipelined floating point units, eight
+pipelined integer units and two special function units."
+
+A warp instruction occupies its unit group for ``warp_size / lanes``
+issue slots (e.g. 32 threads over 8 lanes = 4 cycles) and completes after
+the pipeline latency.  Units are fully pipelined: a new warp may enter
+every ``occupancy`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .config import GPUConfig
+
+
+@dataclass
+class _UnitGroup:
+    """One pipelined SIMD unit group."""
+
+    lanes: int
+    occupancy: int      # issue slots one warp instruction blocks
+    latency: int        # issue-to-writeback shader cycles
+    free_at: float = 0.0
+    warp_instructions: int = 0
+    lane_ops: int = 0
+
+
+class ExecutionUnits:
+    """Timing and lane-level activity of a core's INT/FP/SFU groups."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        warp = config.warp_size
+        self.groups: Dict[str, _UnitGroup] = {
+            "int": _UnitGroup(
+                lanes=config.n_int_lanes,
+                occupancy=max(1, warp // config.n_int_lanes),
+                latency=config.alu_latency_cycles,
+            ),
+            "fp": _UnitGroup(
+                lanes=config.n_fp_lanes,
+                occupancy=max(1, warp // config.n_fp_lanes),
+                latency=config.alu_latency_cycles,
+            ),
+            "sfu": _UnitGroup(
+                lanes=config.n_sfu,
+                occupancy=max(1, warp // config.n_sfu),
+                latency=config.sfu_latency_cycles,
+            ),
+        }
+
+    def can_accept(self, unit: str, now: float) -> bool:
+        """May a warp instruction enter unit group ``unit`` this cycle?"""
+        return self.groups[unit].free_at <= now
+
+    def issue(self, unit: str, now: float, active_lanes: int) -> float:
+        """Issue one warp instruction; returns its completion time.
+
+        Raises:
+            RuntimeError: if the unit group cannot accept this cycle.
+        """
+        group = self.groups[unit]
+        if group.free_at > now:
+            raise RuntimeError(f"{unit} unit busy until {group.free_at}")
+        group.free_at = now + group.occupancy
+        group.warp_instructions += 1
+        group.lane_ops += active_lanes
+        return now + group.occupancy + group.latency
+
+    def next_free(self, now: float) -> float:
+        """Earliest time any unit group frees up (>= now + 1)."""
+        return max(now + 1.0, min(g.free_at for g in self.groups.values()))
+
+    def lane_ops(self, unit: str) -> int:
+        return self.groups[unit].lane_ops

@@ -1,0 +1,257 @@
+"""Whole-GPU performance simulation: global scheduler, cores, uncore.
+
+The global (block) scheduler reproduces the distribution policy the paper
+observes in Fig. 4: "Until the entire chip is occupied, blocks are
+distributed first not only to unoccupied cores, but also to unoccupied
+clusters" -- i.e. blocks fill breadth-first across clusters, then across
+cores within clusters, and only then stack up on already-occupied cores.
+
+:func:`simulate` runs one kernel launch to completion and returns a
+:class:`SimulationOutput` with the final memory image (for functional
+verification) and the aggregated :class:`~repro.sim.activity.ActivityReport`
+(for the power model).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..isa.launch import KernelLaunch
+from .activity import ActivityReport
+from .config import GPUConfig
+from .core import Core
+from .memsys import MemorySystem
+
+
+@dataclass
+class SimulationOutput:
+    """Result of simulating one kernel launch."""
+
+    config: GPUConfig
+    launch: KernelLaunch
+    activity: ActivityReport
+    gmem: np.ndarray
+    cycles: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.activity.runtime_s
+
+    @property
+    def ipc(self) -> float:
+        """Issued warp instructions per shader cycle (whole GPU)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.activity.issued_instructions / self.cycles
+
+
+class GPU:
+    """A configured GPU able to run kernel launches."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.memsys = MemorySystem(config)
+        self.cores: List[Core] = [
+            Core(i, config, self.memsys) for i in range(config.n_cores)
+        ]
+        # Breadth-first-over-clusters dispatch order (Fig. 4 policy):
+        # core 0 of every cluster, then core 1 of every cluster, ...
+        self._dispatch_order = [
+            cluster * config.cores_per_cluster + slot
+            for slot in range(config.cores_per_cluster)
+            for cluster in range(config.n_clusters)
+        ]
+
+    def run(self, launch: KernelLaunch, max_cycles: float = 5e8,
+            gmem: Optional[np.ndarray] = None) -> SimulationOutput:
+        """Simulate ``launch`` to completion.
+
+        Args:
+            gmem: Optional pre-existing global-memory image to execute
+                against (used by :meth:`run_sequence`); by default the
+                launch's own initial image is built.
+        """
+        config = self.config
+        if gmem is None:
+            gmem = launch.build_global_memory()
+        cmem = launch.const_init
+        for core in self.cores:
+            core.prepare(launch.kernel, launch, gmem, cmem)
+
+        pending = list(range(launch.grid.count))
+        next_block = 0
+        # Initial breadth-first placement.
+        for core_idx in self._dispatch_order:
+            if next_block >= len(pending):
+                break
+            core = self.cores[core_idx]
+            if core.free_slots > 0:
+                core.assign_block(pending[next_block])
+                next_block += 1
+        # Keep filling in the same order until slots run out.
+        filling = True
+        while filling and next_block < len(pending):
+            filling = False
+            for core_idx in self._dispatch_order:
+                if next_block >= len(pending):
+                    break
+                core = self.cores[core_idx]
+                if core.free_slots > 0:
+                    core.assign_block(pending[next_block])
+                    next_block += 1
+                    filling = True
+
+        # Event loop: each entry is (wake_time, core_index).
+        heap = [(0.0, i) for i, core in enumerate(self.cores)
+                if not core.idle]
+        heapq.heapify(heap)
+        final_time = 0.0
+        while heap:
+            now, idx = heapq.heappop(heap)
+            if now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles:.0f} cycles "
+                    f"(kernel {launch.kernel.name!r})"
+                )
+            core = self.cores[idx]
+            wake = core.step(now)
+            final_time = max(final_time, now)
+            # Feed newly freed slots.
+            while next_block < len(pending) and core.free_slots > 0 \
+                    and core.ever_used:
+                core.assign_block(pending[next_block])
+                next_block += 1
+                wake = now + 1.0 if wake is None else min(wake, now + 1.0)
+            if wake is not None:
+                heapq.heappush(heap, (wake, idx))
+
+        if next_block < len(pending):
+            raise RuntimeError("scheduler finished with unplaced blocks")
+
+        activity = self._collect(launch, final_time)
+        return SimulationOutput(
+            config=config,
+            launch=launch,
+            activity=activity,
+            gmem=gmem,
+            cycles=final_time,
+        )
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _collect(self, launch: KernelLaunch, cycles: float) -> ActivityReport:
+        config = self.config
+        act = ActivityReport()
+        act.shader_cycles = cycles
+        act.runtime_s = cycles / config.shader_clock_hz
+        act.blocks_launched = launch.grid.count
+        warps_per_block = -(-launch.block.count // config.warp_size)
+        act.warps_launched = warps_per_block * launch.grid.count
+        act.threads_launched = launch.total_threads
+
+        used_cores = [c for c in self.cores if c.blocks_executed > 0]
+        act.active_cores = len(used_cores)
+        clusters = {c.core_id // config.cores_per_cluster for c in used_cores}
+        act.active_clusters = len(clusters)
+
+        for core in self.cores:
+            act.core_busy_cycles += core.busy_cycles
+            for reason, stalled in core.stall_cycles.items():
+                name = f"stall_{reason}"
+                setattr(act, name, getattr(act, name) + stalled)
+            wcu = core.wcu
+            act.fetches += wcu.fetches
+            act.decodes += wcu.decodes
+            act.icache_reads += wcu.icache.reads
+            act.icache_misses += wcu.icache.misses
+            act.wst_reads += wcu.wst_reads
+            act.wst_writes += wcu.wst_writes
+            act.ibuffer_searches += wcu.ibuffer.searches
+            act.ibuffer_writes += wcu.ibuffer.writes
+            act.scoreboard_searches += wcu.scoreboard.searches
+            act.scoreboard_writes += wcu.scoreboard.writes
+            act.fetch_scheduler_ops += wcu.fetch_scheduler_ops
+            act.issue_scheduler_ops += wcu.issue_scheduler_ops
+            act.stack_pushes += core.stack_pushes
+            act.stack_pops += core.stack_pops
+            act.stack_reads += core.stack_reads
+            act.divergent_branches += core.divergent_branches
+            act.branches += core.branches
+            act.barriers += core.barriers
+            act.issued_instructions += core.issued
+            act.int_ops += core.exec_units.lane_ops("int")
+            act.fp_ops += core.exec_units.lane_ops("fp")
+            act.sfu_ops += core.exec_units.lane_ops("sfu")
+            rf = core.regfile
+            act.rf_reads += rf.operand_reads
+            act.rf_writes += rf.operand_writes
+            act.rf_bank_accesses += rf.bank_accesses
+            act.collector_reads += rf.collector_reads
+            act.collector_writes += rf.collector_writes
+            act.rf_xbar_transfers += rf.xbar_transfers
+            ldst = core.ldst
+            if ldst is not None:
+                act.mem_instructions += ldst.instructions
+                act.agu_ops += ldst.agu.sub_agu_ops
+                act.coalescer_accesses += ldst.coalescer.accesses
+                act.coalescer_prt_writes += ldst.coalescer.prt_writes
+                act.mem_transactions += ldst.coalescer.transactions
+                act.smem_accesses += ldst.smem_unit.bank_accesses
+                act.smem_conflict_cycles += ldst.smem_unit.conflict_phases
+                act.smem_xbar_transfers += ldst.smem_unit.xbar_transfers
+                act.bank_conflict_checks += ldst.smem_unit.conflict_checks
+                if ldst.l1 is not None:
+                    act.l1_reads += ldst.l1.reads
+                    act.l1_writes += ldst.l1.writes
+                    act.l1_misses += ldst.l1.misses
+                act.const_reads += ldst.const_requests
+                act.const_misses += ldst.const_misses
+                act.tex_requests += ldst.tex_requests
+                act.tex_accesses += ldst.tex_accesses
+                act.tex_misses += ldst.tex_misses
+
+        mem = self.memsys
+        act.noc_flits += mem.noc.flits
+        act.l2_reads += mem.l2_reads
+        act.l2_writes += mem.l2_writes
+        act.l2_misses += mem.l2_misses
+        act.mc_accesses += mem.mc_accesses
+        act.dram_activates += mem.dram.activates
+        act.dram_precharges += mem.dram.precharges
+        act.dram_reads += mem.dram.reads
+        act.dram_writes += mem.dram.writes
+        act.dram_refreshes += mem.dram.refresh_count(act.runtime_s)
+        return act
+
+
+def simulate(config: GPUConfig, launch: KernelLaunch) -> SimulationOutput:
+    """Convenience wrapper: build a fresh GPU and run one launch."""
+    return GPU(config).run(launch)
+
+
+def simulate_sequence(config: GPUConfig,
+                      launches: List[KernelLaunch],
+                      max_cycles: float = 5e8) -> List[SimulationOutput]:
+    """Run dependent kernels back-to-back on a shared memory image.
+
+    The first launch's initial data is applied; every later kernel sees
+    the global memory its predecessors left behind -- how real
+    multi-kernel benchmarks (bfs, backprop, mergeSort) actually execute.
+    Each kernel runs on a fresh GPU timing state so its activity report
+    stands alone.
+    """
+    if not launches:
+        return []
+    words = max(l.gmem_words for l in launches)
+    gmem = np.zeros(words, dtype=np.float64)
+    first = launches[0]
+    gmem[:first.gmem_words] = first.build_global_memory()
+    outputs = []
+    for launch in launches:
+        outputs.append(GPU(config).run(launch, max_cycles=max_cycles,
+                                       gmem=gmem))
+    return outputs

@@ -1,0 +1,54 @@
+"""Instruction buffer of the warp control unit.
+
+Paper, Section III-C1: "Once an instruction has been decoded, the WCU
+places the instruction into an instruction buffer slot.  The instruction
+resides in its buffer slot until it is ready to execute ...  The
+instruction buffer is a cache-like structure that is tagged by the warp
+ID and has an associativity greater than one."
+
+This class is the activity/occupancy model of that structure.  The
+simulated frontend fetches at most ``slots_per_warp`` instructions ahead
+per warp; each fetch writes a slot, each issue performs a warp-ID-tagged
+search and frees the slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class InstructionBuffer:
+    """Warp-ID tagged instruction buffer occupancy model."""
+
+    def __init__(self, n_warps: int, slots_per_warp: int) -> None:
+        if slots_per_warp < 1:
+            raise ValueError("instruction buffer needs >= 1 slot per warp")
+        self.slots_per_warp = slots_per_warp
+        self.occupancy: Dict[int, int] = {w: 0 for w in range(n_warps)}
+        self.writes = 0
+        self.searches = 0
+        self.flushes = 0
+
+    def can_fetch(self, warp_id: int) -> bool:
+        """Is a slot free for this warp?"""
+        return self.occupancy[warp_id] < self.slots_per_warp
+
+    def fill(self, warp_id: int) -> None:
+        """Decode placed an instruction into a slot."""
+        if not self.can_fetch(warp_id):
+            raise RuntimeError(f"instruction buffer overflow for warp {warp_id}")
+        self.occupancy[warp_id] += 1
+        self.writes += 1
+
+    def issue(self, warp_id: int) -> None:
+        """Issue consumed the warp's oldest buffered instruction."""
+        if self.occupancy[warp_id] <= 0:
+            raise RuntimeError(f"issue from empty buffer for warp {warp_id}")
+        self.occupancy[warp_id] -= 1
+        self.searches += 1
+
+    def flush(self, warp_id: int) -> None:
+        """Branch resolution discards the warp's buffered instructions."""
+        if self.occupancy[warp_id]:
+            self.flushes += self.occupancy[warp_id]
+            self.occupancy[warp_id] = 0

@@ -1,0 +1,46 @@
+"""Network-on-chip model (cores <-> L2/memory partitions).
+
+The paper reuses McPAT's configurable NoC model on the power side; the
+performance side here is a crossbar between core ports and memory
+partition ports: each transaction is segmented into flits, flits occupy
+the destination port's link serially at the uncore clock, and flit counts
+feed the NoC power model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import GPUConfig
+
+
+class NoC:
+    """Crossbar interconnect with per-destination-port serialization."""
+
+    def __init__(self, config: GPUConfig, shader_clock_hz: float) -> None:
+        self.config = config
+        #: shader cycles per uncore cycle
+        self.scale = config.shader_to_uncore
+        self.port_free: List[float] = [0.0] * config.n_mem_partitions
+        self.flits = 0
+        self.transfers = 0
+
+    def flits_for(self, payload_bytes: int) -> int:
+        """Number of flits a payload of ``payload_bytes`` occupies
+        (one header flit plus data flits)."""
+        data = -(-payload_bytes // self.config.noc_flit_bytes)
+        return 1 + data
+
+    def send(self, partition: int, payload_bytes: int, now: float) -> float:
+        """Send a packet to a memory partition port; returns arrival time
+        (in shader cycles)."""
+        n_flits = self.flits_for(payload_bytes)
+        self.flits += n_flits
+        self.transfers += 1
+        port = partition % len(self.port_free)
+        start = max(now, self.port_free[port])
+        # One flit per uncore cycle on the link, plus 4 uncore cycles of
+        # router/traversal latency.
+        finish = start + (n_flits + 4) * self.scale
+        self.port_free[port] = start + n_flits * self.scale
+        return finish

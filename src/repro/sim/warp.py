@@ -1,0 +1,96 @@
+"""Warp state: registers, divergence stack, and scheduling status."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.kernel import Kernel
+from .functional import WarpContext
+from .stack import ReconvergenceStack
+
+
+class Warp:
+    """One in-flight warp on a core.
+
+    Scheduling status is a small set of flags the Warp Status Table
+    tracks (Fig. 2: Valid? / Rdy? / Barrier columns): a warp is *issuable*
+    when it is valid (has live lanes), not waiting at a barrier, not
+    blocked on dependences, and its next instruction is present in the
+    instruction buffer.
+    """
+
+    __slots__ = (
+        "warp_id", "block_slot", "block_id", "kernel", "ctx", "stack",
+        "at_barrier", "done", "pending_writes", "blocked_until",
+        "outstanding_memory", "instructions_issued",
+    )
+
+    def __init__(self, warp_id: int, block_slot: int, block_id: int,
+                 kernel: Kernel, specials: Dict[str, np.ndarray],
+                 warp_size: int, initial_mask=None) -> None:
+        self.warp_id = warp_id
+        self.block_slot = block_slot
+        self.block_id = block_id
+        self.kernel = kernel
+        self.ctx = WarpContext(kernel.n_regs, kernel.n_preds, specials, warp_size)
+        self.stack = ReconvergenceStack(warp_size, initial_mask)
+        self.at_barrier = False
+        self.done = False
+        #: registers with in-flight writes (scoreboard image).
+        self.pending_writes: Dict[int, int] = {}
+        #: barrel-processing block: warp may not issue before this time.
+        self.blocked_until: float = 0.0
+        self.outstanding_memory = 0
+        self.instructions_issued = 0
+
+    @property
+    def pc(self) -> int:
+        return self.stack.current()[0]
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        return self.stack.current()[1]
+
+    def issuable(self, now: float, has_scoreboard: bool,
+                 scoreboard_limit: int) -> bool:
+        """Can the issue scheduler pick this warp right now?
+
+        With a scoreboard (Fermi style) the warp may issue as long as its
+        next instruction has no hazard against the (bounded) set of
+        pending destination registers -- the hazard test itself happens
+        at issue.  Without one (GT200 barrel style) the warp blocks until
+        the previous instruction completed (``blocked_until``).
+        """
+        if self.done or self.at_barrier:
+            return False
+        if now < self.blocked_until:
+            return False
+        if has_scoreboard and len(self.pending_writes) >= scoreboard_limit:
+            return False
+        return True
+
+    def has_hazard(self, reads, write: Optional[int]) -> bool:
+        """RAW/WAW test against pending destination registers."""
+        if not self.pending_writes:
+            return False
+        pending = self.pending_writes
+        if write is not None and write in pending:
+            return True
+        return any(r in pending for r in reads)
+
+    def reserve(self, reg: Optional[int]) -> None:
+        """Mark ``reg`` as having an in-flight write."""
+        if reg is not None:
+            self.pending_writes[reg] = self.pending_writes.get(reg, 0) + 1
+
+    def release(self, reg: Optional[int]) -> None:
+        """Clear one in-flight write of ``reg`` (writeback)."""
+        if reg is None:
+            return
+        count = self.pending_writes.get(reg, 0)
+        if count <= 1:
+            self.pending_writes.pop(reg, None)
+        else:
+            self.pending_writes[reg] = count - 1

@@ -1,0 +1,9 @@
+"""The evaluation workloads of Table I, reimplemented in the mini ISA."""
+
+from .common import (BenchmarkInfo, all_kernel_launches, benchmark_info,
+                     benchmark_names, build_benchmark)
+
+__all__ = [
+    "BenchmarkInfo", "all_kernel_launches", "benchmark_info",
+    "benchmark_names", "build_benchmark",
+]

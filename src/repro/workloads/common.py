@@ -1,0 +1,89 @@
+"""Shared infrastructure for the benchmark workloads (Table I).
+
+Every benchmark module exposes ``build() -> list[KernelLaunch]`` with one
+entry per kernel (Fig. 6 evaluates 19 kernels across 12 benchmarks).
+Problem sizes are scaled down from the originals so the cycle-level
+simulator runs them in seconds, but each kernel keeps its original
+algorithmic structure -- compute/memory balance, divergence pattern,
+shared-memory usage -- which is what determines per-component activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..isa.launch import KernelLaunch
+
+#: Deterministic seed so runs are reproducible.
+SEED = 20130421
+
+
+def rng() -> np.random.Generator:
+    """Fresh deterministic random generator for workload inputs."""
+    return np.random.default_rng(SEED)
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Table I row: benchmark name, kernel count, description, origin."""
+
+    name: str
+    n_kernels: int
+    description: str
+    origin: str
+
+
+_REGISTRY: Dict[str, Callable[[], List[KernelLaunch]]] = {}
+_INFO: Dict[str, BenchmarkInfo] = {}
+
+
+def register(info: BenchmarkInfo):
+    """Decorator registering a benchmark's ``build`` function."""
+
+    def wrap(fn: Callable[[], List[KernelLaunch]]):
+        _REGISTRY[info.name] = fn
+        _INFO[info.name] = info
+        return fn
+
+    return wrap
+
+
+def benchmark_names() -> List[str]:
+    """Registered benchmark names, Table I order preserved."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def benchmark_info(name: str) -> BenchmarkInfo:
+    """One benchmark's Table I row."""
+    _ensure_loaded()
+    return _INFO[name]
+
+
+def build_benchmark(name: str) -> List[KernelLaunch]:
+    """All kernel launches of one benchmark."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown benchmark {name!r}; have {sorted(_REGISTRY)}")
+    return _REGISTRY[name]()
+
+
+def all_kernel_launches() -> Dict[str, KernelLaunch]:
+    """The 19 evaluation kernels keyed by their Fig. 6 label."""
+    _ensure_loaded()
+    out: Dict[str, KernelLaunch] = {}
+    for name in _REGISTRY:
+        launches = _REGISTRY[name]()
+        for launch in launches:
+            out[launch.kernel.name] = launch
+    return out
+
+
+def _ensure_loaded() -> None:
+    # Import benchmark modules for their registration side effects.
+    from . import (backprop, bfs, blackscholes, heartwall, hotspot,  # noqa: F401
+                   kmeans, matmul, mergesort, needle, pathfinder,
+                   scalarprod, vectoradd)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (workload launches, full-suite simulations) are cached at
+session scope so the many tests that inspect them don't re-simulate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import Dim3, KernelBuilder, KernelLaunch, Sreg
+from repro.sim import GPU, gt240, gtx580
+from repro.workloads import all_kernel_launches
+
+
+@pytest.fixture(scope="session")
+def gt240_config():
+    return gt240()
+
+
+@pytest.fixture(scope="session")
+def gtx580_config():
+    return gtx580()
+
+
+@pytest.fixture(scope="session")
+def launches():
+    """The 19 evaluation kernel launches, built once."""
+    return all_kernel_launches()
+
+
+def build_vecadd_launch(n=256, block=64, grid=None):
+    """A tiny vector-add launch for fast integration tests."""
+    kb = KernelBuilder("tiny_vecadd")
+    i, a, b, c = kb.regs(4)
+    kb.mov(i, Sreg("gtid"))
+    kb.ldg(a, i, offset=0)
+    kb.ldg(b, i, offset=n)
+    kb.fadd(c, a, b)
+    kb.stg(c, i, offset=2 * n)
+    kb.exit()
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    return KernelLaunch(
+        kernel=kb.build(),
+        grid=Dim3(grid or max(1, n // block)),
+        block=Dim3(block),
+        globals_init={0: x, n: y},
+        gmem_words=3 * n,
+    ), x, y
+
+
+@pytest.fixture()
+def vecadd_launch():
+    return build_vecadd_launch()
+
+
+@pytest.fixture(scope="session")
+def blackscholes_result_gt240(gt240_config, launches):
+    """BlackScholes simulated once on the GT240 (many tests inspect it)."""
+    from repro.core import GPUSimPow
+    return GPUSimPow(gt240_config).run(launches["BlackScholes"])
+
+
+@pytest.fixture(scope="session")
+def blackscholes_activity(blackscholes_result_gt240):
+    return blackscholes_result_gt240.activity

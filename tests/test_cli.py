@@ -1,0 +1,112 @@
+"""Tests for the command-line interface and activity-trace round trips."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.activity import ActivityReport
+from repro.sim import gt240, simulate
+from tests.conftest import build_vecadd_launch
+
+
+class TestActivityJSON:
+    def test_roundtrip(self):
+        launch, _, _ = build_vecadd_launch()
+        act = simulate(gt240(), launch).activity
+        restored = ActivityReport.from_json(act.to_json())
+        assert restored.as_dict() == act.as_dict()
+
+    def test_rejects_unknown_counters(self):
+        payload = json.dumps({"warp_drive_engagements": 9000})
+        with pytest.raises(ValueError, match="unknown activity counters"):
+            ActivityReport.from_json(payload)
+
+    def test_partial_trace_fills_defaults(self):
+        act = ActivityReport.from_json(json.dumps({"fp_ops": 42.0}))
+        assert act.fp_ops == 42.0
+        assert act.int_ops == 0.0
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("list", "arch", "run", "power", "validate"):
+            args = parser.parse_args(
+                [cmd] + (["x"] if cmd == "run" else [])
+                + (["--trace", "t"] if cmd == "power" else []))
+            assert args.command == cmd
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "vectorAdd", "--gpu", "GTX580", "--profile"])
+        assert args.kernel == "vectorAdd"
+        assert args.gpu == "GTX580"
+        assert args.profile
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out and "Rodinia" in out
+
+    def test_arch(self, capsys):
+        assert main(["arch", "--gpu", "GT240"]) == 0
+        out = capsys.readouterr().out
+        assert "mm^2" in out and "static" in out
+
+    def test_run_and_power_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", "vectorAdd", "--save-trace", str(trace)]) == 0
+        run_out = capsys.readouterr().out
+        assert "chip power" in run_out
+        assert trace.exists()
+
+        assert main(["power", "--trace", str(trace)]) == 0
+        power_out = capsys.readouterr().out
+        assert "chip total" in power_out
+        # The trace-driven power matches the inline run's number.
+        inline = next(l for l in run_out.splitlines() if "chip power" in l)
+        offline = next(l for l in power_out.splitlines()
+                       if "chip total" in l)
+        inline_w = float(inline.split()[2])
+        offline_w = float(offline.split()[2])
+        assert inline_w == pytest.approx(offline_w, abs=0.05)
+
+    def test_run_unknown_kernel(self, capsys):
+        assert main(["run", "notAKernel"]) == 2
+
+    def test_run_profile_prints_tree(self, capsys):
+        assert main(["run", "vectorAdd", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Undiff. Core" in out and "GDDR5 DRAM" in out
+
+    def test_validate_subset(self, capsys):
+        assert main(["validate", "--kernels", "vectorAdd,bfs2"]) == 0
+        out = capsys.readouterr().out
+        assert "avg relative error" in out
+        assert "vectorAdd" in out
+
+    def test_xml_config_flow(self, tmp_path, capsys):
+        xml = tmp_path / "gpu.xml"
+        xml.write_text(gt240().scaled(n_clusters=2).to_xml())
+        assert main(["arch", "--config", str(xml)]) == 0
+        out = capsys.readouterr().out
+        assert "GT240" in out
+
+
+class TestDisasm:
+    def test_disasm_lists_instructions(self, capsys):
+        assert main(["disasm", "vectorAdd"]) == 0
+        out = capsys.readouterr().out
+        assert "LDG" in out and "FADD" in out and "EXIT" in out
+
+    def test_disasm_unknown_kernel(self, capsys):
+        assert main(["disasm", "ghost"]) == 2
+
+    def test_disasm_annotates_reconvergence(self, capsys):
+        assert main(["disasm", "bfs1"]) == 0
+        out = capsys.readouterr().out
+        assert "reconverge @" in out
+        assert "\nL" in out  # at least one branch-target label marker

@@ -1,0 +1,94 @@
+"""Tests for the derived efficiency/utilization metrics."""
+
+import pytest
+
+from repro import GPUSimPow, gt240
+from repro.core.metrics import (EfficiencyMetrics, UtilizationMetrics,
+                                compare_energy)
+
+
+@pytest.fixture(scope="module")
+def results(launches):
+    sim = GPUSimPow(gt240())
+    return {name: sim.run(launches[name])
+            for name in ("BlackScholes", "vectorAdd", "matrixMul")}
+
+
+class TestEfficiencyMetrics:
+    def test_energy_consistent(self, results):
+        m = EfficiencyMetrics.from_result(results["BlackScholes"])
+        assert m.energy_j == pytest.approx(m.power_w * m.runtime_s)
+        assert m.edp_js == pytest.approx(m.energy_j * m.runtime_s)
+        assert m.ed2p_js2 == pytest.approx(m.edp_js * m.runtime_s)
+
+    def test_energy_per_instruction_plausible(self, results):
+        m = EfficiencyMetrics.from_result(results["BlackScholes"])
+        # A warp instruction costs nanojoules on a 40 nm GPU.
+        assert 1e-10 < m.energy_per_instruction_j < 1e-6
+
+    def test_compute_kernel_better_gflops_per_watt(self, results):
+        bs = EfficiencyMetrics.from_result(results["BlackScholes"])
+        va = EfficiencyMetrics.from_result(results["vectorAdd"])
+        assert bs.gflops_per_watt > va.gflops_per_watt
+
+    def test_compare_energy_sorted(self, results):
+        table = compare_energy(results.values())
+        lines = table.splitlines()[1:]
+        energies = [float(line.split()[4]) for line in lines]
+        assert energies == sorted(energies)
+        assert "GFLOPS/W" in table.splitlines()[0]
+
+
+class TestUtilizationMetrics:
+    def test_rates_bounded(self, results):
+        for result in results.values():
+            u = UtilizationMetrics.from_result(result)
+            for name in ("core_occupancy", "l1_hit_rate", "const_hit_rate",
+                         "l2_hit_rate", "divergence_rate"):
+                value = getattr(u, name)
+                assert 0.0 <= value <= 1.0, (result.kernel_name, name)
+
+    def test_vectoradd_fully_coalesced(self, results):
+        u = UtilizationMetrics.from_result(results["vectorAdd"])
+        assert u.coalescing_efficiency == pytest.approx(32.0)
+
+    def test_blackscholes_const_cache_hits(self, results):
+        u = UtilizationMetrics.from_result(results["BlackScholes"])
+        assert u.const_hit_rate > 0.9
+
+    def test_straightline_kernels_no_divergence(self, results):
+        u = UtilizationMetrics.from_result(results["vectorAdd"])
+        assert u.divergence_rate == 0.0
+
+    def test_ipc_matches_output(self, results):
+        r = results["matrixMul"]
+        u = UtilizationMetrics.from_result(r)
+        assert u.ipc == pytest.approx(r.performance.ipc, rel=1e-6)
+
+
+class TestDivergenceExperiment:
+    @pytest.fixture(scope="class")
+    def points(self):
+        from repro.experiments import exp_divergence
+        return exp_divergence.run()
+
+    def test_three_variants(self, points):
+        assert len(points) == 3
+
+    def test_divergence_counted_only_in_divergent_variants(self, points):
+        uniform, two_way, four_way = points
+        assert uniform.divergent_branches == 0
+        assert two_way.divergent_branches > 0
+        assert four_way.divergent_branches > two_way.divergent_branches
+
+    def test_serialisation_stretches_runtime(self, points):
+        uniform, two_way, four_way = points
+        assert four_way.cycles > two_way.cycles
+
+    def test_divergence_starves_execution_units(self, points):
+        uniform, two_way, four_way = points
+        assert (four_way.unit_dynamic_w["Execution Units"]
+                < uniform.unit_dynamic_w["Execution Units"])
+
+    def test_four_way_costs_most_energy(self, points):
+        assert points[2].energy_uj == max(p.energy_uj for p in points)

@@ -1,0 +1,91 @@
+"""Tests for the validation harness (sim-vs-hardware comparison).
+
+Uses a reduced kernel set to stay fast; the full 19-kernel statistics of
+Section V-A are asserted in the Fig. 6 benchmark harness.
+"""
+
+import pytest
+
+from repro import gt240, gtx580, validate_suite
+
+SUBSET = ["BlackScholes", "vectorAdd", "matrixMul", "bfs2", "hotspot"]
+
+
+@pytest.fixture(scope="module")
+def suite_gt240():
+    return validate_suite(gt240(), kernel_names=SUBSET)
+
+
+@pytest.fixture(scope="module")
+def suite_gtx580():
+    return validate_suite(gtx580(), kernel_names=SUBSET)
+
+
+class TestSuiteStructure:
+    def test_one_row_per_kernel(self, suite_gt240):
+        assert [k.kernel for k in suite_gt240.kernels] == SUBSET
+
+    def test_rows_consistent(self, suite_gt240):
+        for k in suite_gt240.kernels:
+            assert k.simulated_total_w > k.simulated_static_w > 0
+            assert k.measured_total_w > 0
+            assert 0 <= k.relative_error < 1.0
+
+    def test_measured_dynamic_positive(self, suite_gt240):
+        for k in suite_gt240.kernels:
+            assert k.measured_dynamic_w > 0
+
+
+class TestStaticMethodology:
+    def test_gt240_uses_extrapolation(self, suite_gt240):
+        # The GT240's hardware static estimate lands near the card truth.
+        assert suite_gt240.hardware_static_w == pytest.approx(17.6, rel=0.06)
+
+    def test_gtx580_uses_idle_ratio(self, suite_gtx580):
+        """Driver refuses clock scaling -> idle-ratio transfer (~80 W)."""
+        assert suite_gtx580.hardware_static_w == pytest.approx(80.0, rel=0.06)
+
+    def test_simulated_static_close_to_hardware(self, suite_gt240,
+                                                suite_gtx580):
+        # Paper: 0.3 W (1.7%) apart on GT240; near-exact on GTX580.
+        for suite in (suite_gt240, suite_gtx580):
+            assert suite.simulated_static_w == pytest.approx(
+                suite.hardware_static_w, rel=0.06)
+
+
+class TestErrorShapes:
+    def test_subset_error_in_band(self, suite_gt240):
+        assert suite_gt240.average_relative_error < 0.25
+
+    def test_blackscholes_underestimated_on_gt240(self, suite_gt240):
+        """Paper: the simulator overestimates all benchmarks *but*
+        BlackScholes and scalarProd on the GT240."""
+        row = next(k for k in suite_gt240.kernels
+                   if k.kernel == "BlackScholes")
+        assert not row.overestimated
+
+    def test_gtx580_mostly_overestimates(self, suite_gtx580):
+        assert suite_gtx580.overestimate_fraction >= 0.8
+
+    def test_dynamic_error_exceeds_total_error(self, suite_gt240):
+        """Static power matches well, so errors concentrate in the
+        dynamic part -- dynamic-only relative error is larger."""
+        assert (suite_gt240.average_dynamic_error
+                > suite_gt240.average_relative_error)
+
+    def test_worst_kernel_reported(self, suite_gt240):
+        assert suite_gt240.worst_kernel in SUBSET
+        assert suite_gt240.max_relative_error >= \
+            suite_gt240.average_relative_error
+
+
+class TestDeterminism:
+    def test_same_seed_same_numbers(self):
+        a = validate_suite(gt240(), kernel_names=["vectorAdd"], seed=99)
+        b = validate_suite(gt240(), kernel_names=["vectorAdd"], seed=99)
+        assert a.kernels[0].measured_total_w == b.kernels[0].measured_total_w
+
+    def test_different_seed_different_noise(self):
+        a = validate_suite(gt240(), kernel_names=["vectorAdd"], seed=1)
+        b = validate_suite(gt240(), kernel_names=["vectorAdd"], seed=2)
+        assert a.kernels[0].measured_total_w != b.kernels[0].measured_total_w

@@ -1,0 +1,188 @@
+"""Tests for the experiment drivers (tables and figures)."""
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, exp_ablations, exp_fig4,
+                               exp_microbench, exp_table2, exp_table4,
+                               exp_table5)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {"table1", "table2", "table3",
+                                        "table4", "table5", "fig4", "fig6",
+                                        "microbench", "statmodel",
+                                        "divergence", "ablations"}
+
+    def test_every_experiment_has_interface(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        from repro.experiments import exp_table1
+        rows = {r["name"]: r for r in exp_table1.run()}
+        for name, (count, origin) in exp_table1.PAPER_TABLE1.items():
+            assert rows[name]["n_kernels"] == count, name
+            assert rows[name]["origin"] == origin, name
+
+    def test_nineteen_kernels_total(self):
+        from repro.experiments import exp_table1
+        assert sum(r["n_kernels"] for r in exp_table1.run()) == 19
+
+    def test_format(self):
+        from repro.experiments import exp_table1
+        text = exp_table1.format_table(exp_table1.run())
+        assert "Rodinia" in text and "CUDA SDK" in text
+
+
+class TestTable3:
+    def test_rows_cover_both_sides(self):
+        from repro.experiments import exp_table3
+        rows = exp_table3.run()
+        assert "Performance simulator" in rows
+        assert "GPGPU-Sim" in rows["Performance simulator"]["simulation"]
+        assert "McPAT" in rows["Power model"]["simulation"]
+
+    def test_format(self):
+        from repro.experiments import exp_table3
+        text = exp_table3.format_table(exp_table3.run())
+        assert "Measurement" in text and "Simulation" in text
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        rows = exp_table2.run()
+        for gpu, expected in exp_table2.PAPER_TABLE2.items():
+            for feature, value in expected.items():
+                assert rows[gpu][feature] == value, (gpu, feature)
+
+    def test_format(self):
+        text = exp_table2.format_table(exp_table2.run())
+        assert "GT240" in text and "GTX580" in text
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return exp_table4.run()
+
+    def test_simulated_static_matches_paper(self, rows):
+        assert rows["GT240"].sim_static_w == pytest.approx(17.9, abs=0.3)
+        assert rows["GTX580"].sim_static_w == pytest.approx(81.5, abs=1.5)
+
+    def test_real_static_close_to_simulated(self, rows):
+        """The paper's key Table IV observation."""
+        for row in rows.values():
+            assert row.sim_static_w == pytest.approx(row.real_static_w,
+                                                     rel=0.07)
+
+    def test_simulated_area_below_real(self, rows):
+        """Paper: estimated chip area is smaller than the actual area
+        (unmodeled components)."""
+        for row in rows.values():
+            assert row.sim_area_mm2 < row.real_area_mm2
+
+    def test_format(self, rows):
+        text = exp_table4.format_table(rows)
+        assert "Static" in text and "Area" in text
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return exp_table5.run()
+
+    def test_gpu_rows_match_paper(self, table):
+        for name, (ps, pd) in exp_table5.PAPER_GPU_LEVEL.items():
+            s, d = table.gpu_level[name]
+            assert s == pytest.approx(ps, rel=0.05), name
+            assert d == pytest.approx(pd, rel=0.08), name
+
+    def test_core_rows_match_paper(self, table):
+        for name, (ps, pd) in exp_table5.PAPER_CORE_LEVEL.items():
+            s, d = table.core_level[name]
+            assert s == pytest.approx(ps, abs=0.012), name
+            assert d == pytest.approx(pd, abs=0.03), name
+
+    def test_cores_share_about_82_percent(self, table):
+        total = sum(table.gpu_level["Overall"])
+        cores = sum(table.gpu_level["Cores"])
+        assert cores / total == pytest.approx(0.822, abs=0.02)
+
+    def test_dram_footnote(self, table):
+        assert table.dram_w == pytest.approx(exp_table5.PAPER_DRAM_W, abs=1.0)
+
+    def test_ordering_of_core_consumers(self, table):
+        """Exec units > register file > WCU in dynamic power; undiff is
+        the largest static slice -- the paper's qualitative reading."""
+        d = {k: v[1] for k, v in table.core_level.items()}
+        s = {k: v[0] for k, v in table.core_level.items()}
+        assert d["Execution Units"] > d["Register File"] > d["WCU"]
+        assert s["Undiff. Core"] == max(v for k, v in s.items()
+                                        if k != "Overall")
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig4.run()
+
+    def test_twelve_plateaus(self, result):
+        assert len(result.points) == 12
+
+    def test_monotone(self, result):
+        powers = [p for _, p in result.points]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_cluster_step_near_paper(self, result):
+        assert result.cluster_step_w == pytest.approx(
+            exp_fig4.PAPER_CLUSTER_STEP_W, rel=0.15)
+
+    def test_scheduler_near_paper(self, result):
+        assert result.scheduler_w == pytest.approx(
+            exp_fig4.PAPER_SCHEDULER_W, rel=0.15)
+
+    def test_steps_property(self, result):
+        assert len(result.steps) == 11
+
+
+class TestMicrobenchExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_microbench.run()
+
+    def test_int_near_40(self, result):
+        assert result.int_pj == pytest.approx(40, abs=4)
+
+    def test_fp_near_75(self, result):
+        assert result.fp_pj == pytest.approx(75, abs=6)
+
+    def test_format_mentions_nvidia(self, result):
+        assert "NVIDIA" in exp_microbench.format_table(result)
+
+
+class TestAblations:
+    def test_coalescing_off_slower(self):
+        on, off = exp_ablations.coalescing_ablation()
+        assert off.cycles > on.cycles
+        assert off.energy_mj > on.energy_mj
+
+    def test_scoreboard_faster(self):
+        barrel, sb = exp_ablations.scoreboard_ablation()
+        assert sb.cycles < barrel.cycles
+
+    def test_more_banks_more_power(self):
+        points = exp_ablations.regfile_ablation()
+        assert points[-1].chip_dynamic_w > points[0].chip_dynamic_w
+        # Timing unaffected: this knob only changes the power side here.
+        assert points[0].cycles == points[-1].cycles
+
+    def test_node_scaling_monotone(self):
+        points = exp_ablations.node_scaling()
+        statics = [p.static_w for p in points]
+        areas = [p.area_mm2 for p in points]
+        assert statics == sorted(statics, reverse=True)
+        assert areas == sorted(areas, reverse=True)

@@ -1,0 +1,30 @@
+"""Tests for the experiment runner module (__main__ dispatch)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.__main__ import main
+
+
+class TestDispatch:
+    def test_unknown_experiment_exits(self, monkeypatch):
+        monkeypatch.setattr("sys.argv", ["experiments", "nosuch"])
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main()
+
+    def test_single_experiment_runs(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.argv", ["experiments", "table2"])
+        main()
+        out = capsys.readouterr().out
+        assert "===== table2 =====" in out
+        assert "GT240" in out
+
+    def test_multiple_experiments_in_order(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.argv", ["experiments", "table2", "table5"])
+        main()
+        out = capsys.readouterr().out
+        assert out.index("table2") < out.index("table5")
+
+    def test_every_registered_module_has_format(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert hasattr(module, "format_table"), name

@@ -1,0 +1,113 @@
+"""Unit tests for the virtual-hardware card model."""
+
+import pytest
+
+from repro.hw.virtual_gpu import (CARDS, UnsupportedByDriver, VirtualGPU)
+from repro.sim.activity import ActivityReport
+from repro.sim.config import gt240, gtx580
+
+
+def activity(runtime_s=1e-3, **counts):
+    act = ActivityReport()
+    act.runtime_s = runtime_s
+    for k, v in counts.items():
+        setattr(act, k, v)
+    return act
+
+
+class TestCardStates:
+    def test_gt240_idle_states_match_paper(self):
+        """Section V-A: ~15 W gated, ~19.5 W around kernels, ~90% static."""
+        v = VirtualGPU(gt240())
+        assert v.gated_idle_w == pytest.approx(15.0)
+        assert v.active_idle_w == pytest.approx(19.5)
+        assert CARDS["GT240"].static_w / v.active_idle_w == pytest.approx(
+            0.90, abs=0.01)
+
+    def test_gtx580_90w_prekernel_state(self):
+        """Paper: 'The GTX580 is using 90 W in the same state'."""
+        assert VirtualGPU(gtx580()).active_idle_w == pytest.approx(90.0)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(KeyError):
+            VirtualGPU(gt240().scaled(name="GT9800"))
+
+
+class TestKernelPower:
+    def test_idle_activity_gives_active_idle(self):
+        v = VirtualGPU(gt240())
+        assert v.kernel_power_w(ActivityReport()) == v.active_idle_w
+
+    def test_power_grows_with_work(self):
+        v = VirtualGPU(gt240())
+        light = v.kernel_power_w(activity(fp_ops=1e5, active_cores=1,
+                                          active_clusters=1,
+                                          blocks_launched=1))
+        heavy = v.kernel_power_w(activity(fp_ops=1e8, active_cores=12,
+                                          active_clusters=4,
+                                          blocks_launched=32))
+        assert heavy > light > v.active_idle_w
+
+    def test_scheduler_power_on_first_block(self):
+        v = VirtualGPU(gt240())
+        without = v.kernel_power_w(activity())
+        with_blocks = v.kernel_power_w(activity(blocks_launched=1,
+                                                active_clusters=1,
+                                                active_cores=1))
+        step = with_blocks - without
+        # scheduler + 1 cluster + 1 core, with VRM loss on top
+        expected = (3.34 + 0.692 + CARDS["GT240"].core_base_w) * 1.045
+        assert step == pytest.approx(expected, rel=0.01)
+
+    def test_cluster_staircase_steps(self):
+        v = VirtualGPU(gt240())
+        p = [v.kernel_power_w(activity(blocks_launched=b,
+                                       active_clusters=min(b, 4),
+                                       active_cores=b))
+             for b in range(1, 6)]
+        cluster_steps = [p[1] - p[0], p[2] - p[1], p[3] - p[2]]
+        core_step = p[4] - p[3]
+        for s in cluster_steps:
+            assert s - core_step == pytest.approx(0.692 * 1.045, rel=0.01)
+
+
+class TestClockScaling:
+    def test_dynamic_scales_with_clock(self):
+        act = activity(fp_ops=1e8)
+        full = VirtualGPU(gt240(), clock_scale=1.0)
+        slow = VirtualGPU(gt240(), clock_scale=0.8)
+        dyn_full = full.kernel_power_w(act) - full.active_idle_w
+        dyn_slow = slow.kernel_power_w(act) - slow.active_idle_w
+        assert dyn_slow == pytest.approx(0.8 * dyn_full, rel=0.01)
+
+    def test_extrapolation_premise(self):
+        """Two frequency points extrapolate to the static power."""
+        act = activity(fp_ops=1e8, active_cores=12, active_clusters=4,
+                       blocks_launched=12)
+        p1 = VirtualGPU(gt240(), 1.0).kernel_power_w(act)
+        p08 = VirtualGPU(gt240(), 0.8).kernel_power_w(act)
+        intercept = p1 - (p1 - p08) / 0.2
+        assert intercept == pytest.approx(CARDS["GT240"].static_w, rel=0.01)
+
+    def test_gtx580_driver_refuses(self):
+        with pytest.raises(UnsupportedByDriver):
+            VirtualGPU(gtx580(), clock_scale=0.8)
+
+    def test_insane_scale_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualGPU(gt240(), clock_scale=0.05)
+
+
+class TestRails:
+    def test_gt240_slot_only(self):
+        rails = VirtualGPU(gt240()).rail_split()
+        assert [name for name, _, _ in rails] == ["slot12V", "slot3V3"]
+        assert sum(frac for _, _, frac in rails) == pytest.approx(1.0)
+
+    def test_gtx580_has_external_connectors(self):
+        """Paper: 'The GTX580 also has two external PCIe power
+        connectors'."""
+        rails = VirtualGPU(gtx580()).rail_split()
+        ext = [name for name, _, _ in rails if name.startswith("ext")]
+        assert len(ext) == 2
+        assert sum(frac for _, _, frac in rails) == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the instruction set definitions."""
+
+import pytest
+
+from repro.isa.instructions import (ALL_OPS, Imm, Instruction, Pred, Reg,
+                                    Sreg, unit_class)
+
+
+class TestOperands:
+    def test_reg_repr(self):
+        assert repr(Reg(3)) == "r3"
+
+    def test_pred_repr(self):
+        assert repr(Pred(1)) == "p1"
+
+    def test_imm_holds_value(self):
+        assert Imm(2.5).value == 2.5
+
+    def test_sreg_valid_names(self):
+        for name in ("tid", "ctaid", "ntid", "nctaid", "laneid",
+                     "warpid", "gtid"):
+            assert Sreg(name).name == name
+
+    def test_sreg_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Sreg("blockdim_y")
+
+    def test_operands_hashable(self):
+        assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+
+class TestUnitClass:
+    @pytest.mark.parametrize("op,unit", [
+        ("IADD", "int"), ("IMAD", "int"), ("SETP.LT", "int"),
+        ("FADD", "fp"), ("FFMA", "fp"), ("FSETP.GE", "fp"),
+        ("RCP", "sfu"), ("SIN", "sfu"), ("SQRT", "sfu"),
+        ("LDG", "mem"), ("STS", "mem"), ("LDC", "mem"),
+        ("BRA", "ctrl"), ("BAR", "ctrl"), ("EXIT", "ctrl"),
+    ])
+    def test_classification(self, op, unit):
+        assert unit_class(op) == unit
+
+    def test_every_op_classified(self):
+        for op in ALL_OPS:
+            assert unit_class(op) in ("int", "fp", "sfu", "mem", "ctrl")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            unit_class("FROB")
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("NOSUCH")
+
+    def test_mem_space_inferred(self):
+        assert Instruction("LDG", Reg(0), (Reg(1),)).mem_space == "global"
+        assert Instruction("LDS", Reg(0), (Reg(1),)).mem_space == "shared"
+        assert Instruction("LDC", Reg(0), (Reg(1),)).mem_space == "const"
+        assert Instruction("STG", None, (Reg(1), Reg(2))).mem_space == "global"
+
+    def test_load_store_flags(self):
+        assert Instruction("LDG", Reg(0), (Reg(1),)).is_load
+        assert not Instruction("LDG", Reg(0), (Reg(1),)).is_store
+        assert Instruction("STS", None, (Reg(1), Reg(0))).is_store
+
+    def test_branch_flag(self):
+        assert Instruction("BRA", target=0).is_branch
+        assert Instruction("JMP", target=0).is_branch
+        assert not Instruction("BAR").is_branch
+
+    def test_reads_regs_only_registers(self):
+        inst = Instruction("IADD", Reg(0), (Reg(1), Imm(2.0)))
+        assert inst.reads_regs == (1,)
+
+    def test_writes_reg(self):
+        assert Instruction("IADD", Reg(5), (Reg(1), Reg(2))).writes_reg == 5
+        assert Instruction("STG", None, (Reg(1), Reg(2))).writes_reg is None
+
+    def test_predicate_dst_is_not_reg_write(self):
+        inst = Instruction("SETP.LT", Pred(0), (Reg(1), Imm(1.0)))
+        assert inst.writes_reg is None
+
+    def test_repr_with_guard(self):
+        inst = Instruction("IADD", Reg(0), (Reg(1), Reg(2)),
+                           guard=(Pred(0), False))
+        assert "!p0" in repr(inst)

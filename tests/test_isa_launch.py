@@ -1,0 +1,62 @@
+"""Unit tests for launch geometry and global-memory image building."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Dim3, KernelBuilder, KernelLaunch
+
+
+def tiny_kernel():
+    kb = KernelBuilder("t")
+    kb.nop()
+    return kb.build()
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(4, 2, 3).count == 24
+
+    def test_defaults(self):
+        assert Dim3(7).count == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+
+
+class TestKernelLaunch:
+    def test_total_threads(self):
+        launch = KernelLaunch(tiny_kernel(), Dim3(4), Dim3(64))
+        assert launch.total_threads == 256
+
+    def test_params_recorded(self):
+        launch = KernelLaunch(tiny_kernel(), Dim3(1), Dim3(32),
+                              params={"n": 128})
+        assert launch.params["n"] == 128
+
+    def test_gmem_grows_to_fit_init(self):
+        data = np.ones(100)
+        launch = KernelLaunch(tiny_kernel(), Dim3(1), Dim3(32),
+                              globals_init={1000: data}, gmem_words=64)
+        assert launch.gmem_words >= 1100
+
+    def test_build_global_memory_places_data(self):
+        data = np.arange(8, dtype=np.float64)
+        launch = KernelLaunch(tiny_kernel(), Dim3(1), Dim3(32),
+                              globals_init={16: data}, gmem_words=64)
+        gmem = launch.build_global_memory()
+        assert len(gmem) == 64
+        assert np.array_equal(gmem[16:24], data)
+        assert gmem[:16].sum() == 0
+
+    def test_build_is_fresh_each_time(self):
+        launch = KernelLaunch(tiny_kernel(), Dim3(1), Dim3(32),
+                              globals_init={0: np.ones(4)}, gmem_words=16)
+        a = launch.build_global_memory()
+        a[0] = 99
+        b = launch.build_global_memory()
+        assert b[0] == 1.0
+
+    def test_default_repeatable(self):
+        launch = KernelLaunch(tiny_kernel(), Dim3(1), Dim3(32))
+        assert launch.repeatable is True

@@ -1,0 +1,155 @@
+"""Tests for the reusable kernel-construction idioms."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Dim3, KernelBuilder, KernelLaunch, Sreg
+from repro.isa.lib import (clamped_neighbor, counted_loop, decompose_2d,
+                           grid_stride_loop, load_thread_ids,
+                           tree_reduce_smem)
+from repro.sim import gt240, simulate
+
+CFG = gt240()
+
+
+def run(kernel, grid=1, block=64, init=None, gmem=1024, const=None):
+    launch = KernelLaunch(kernel, Dim3(grid), Dim3(block),
+                          globals_init=init or {}, gmem_words=gmem,
+                          const_init=const)
+    return simulate(CFG, launch)
+
+
+class TestLoadThreadIds:
+    def test_all_three(self):
+        kb = KernelBuilder("ids")
+        g, t, c = kb.regs(3)
+        load_thread_ids(kb, g, tid=t, ctaid=c)
+        kb.stg(g, g, offset=0)
+        kb.stg(t, g, offset=128)
+        kb.stg(c, g, offset=256)
+        out = run(kb.build(), grid=2, block=64)
+        assert np.array_equal(out.gmem[:128], np.arange(128))
+        assert np.array_equal(out.gmem[128:256],
+                              np.tile(np.arange(64), 2))
+        assert np.array_equal(out.gmem[256:384],
+                              np.repeat([0, 1], 64))
+
+
+class TestCountedLoop:
+    def test_fixed_trip_count(self):
+        kb = KernelBuilder("loop")
+        g, acc, i = kb.regs(3)
+        p = kb.pred()
+        load_thread_ids(kb, g)
+        kb.mov(acc, 0)
+        counted_loop(kb, i, p, 7, lambda: kb.iadd(acc, acc, 2))
+        kb.stg(acc, g, offset=0)
+        out = run(kb.build())
+        assert (out.gmem[:64] == 14).all()
+
+    def test_rejects_zero_trips(self):
+        kb = KernelBuilder("bad")
+        i = kb.reg()
+        with pytest.raises(ValueError):
+            counted_loop(kb, i, kb.pred(), 0, lambda: None)
+
+    def test_nested_loops_unique_labels(self):
+        kb = KernelBuilder("nest")
+        g, acc, i, j = kb.regs(4)
+        p, q = kb.pred(), kb.pred()
+        load_thread_ids(kb, g)
+        kb.mov(acc, 0)
+        counted_loop(kb, i, p, 3,
+                     lambda: counted_loop(kb, j, q, 4,
+                                          lambda: kb.iadd(acc, acc, 1)))
+        kb.stg(acc, g, offset=0)
+        out = run(kb.build())
+        assert (out.gmem[:64] == 12).all()
+
+
+class TestGridStrideLoop:
+    def test_covers_all_elements(self):
+        n, block, grid = 512, 64, 2
+        kb = KernelBuilder("gsl")
+        g, idx, v = kb.regs(3)
+        p = kb.pred()
+        load_thread_ids(kb, g)
+
+        def body():
+            kb.ldg(v, idx, offset=0)
+            kb.fmul(v, v, 2.0)
+            kb.stg(v, idx, offset=n)
+
+        grid_stride_loop(kb, idx, p, g, n, grid * block, body)
+        data = np.arange(n, dtype=np.float64)
+        out = run(kb.build(), grid=grid, block=block, init={0: data},
+                  gmem=2 * n)
+        assert np.array_equal(out.gmem[n:2 * n], 2 * data)
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("combine,ref", [
+        ("fadd", np.sum), ("fmax", np.max), ("fmin", np.min),
+    ])
+    def test_reduction_ops(self, combine, ref):
+        block = 128
+        kb = KernelBuilder("reduce", smem_words=block)
+        g, t, stride, a, b, addr = kb.regs(6)
+        p = kb.pred()
+        load_thread_ids(kb, g, tid=t)
+        kb.ldg(a, g, offset=0)
+        kb.sts(a, t)
+        tree_reduce_smem(kb, t, stride, a, b, addr, p, block,
+                         combine=combine)
+        kb.setp("eq", p, t, 0)
+        kb.lds(a, t, guard=(p, True))
+        kb.mov(b, Sreg("ctaid"))
+        kb.stg(a, b, offset=512, guard=(p, True))
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal(256)
+        out = run(kb.build(), grid=2, block=block, init={0: data},
+                  gmem=1024)
+        got = out.gmem[512:514]
+        expect = [ref(data[:128]), ref(data[128:])]
+        assert np.allclose(got, expect)
+
+    def test_rejects_non_power_of_two(self):
+        kb = KernelBuilder("bad", smem_words=96)
+        regs = kb.regs(5)
+        with pytest.raises(ValueError):
+            tree_reduce_smem(kb, *regs, kb.pred(), 96)
+
+
+class TestIndexHelpers:
+    def test_decompose_2d(self):
+        kb = KernelBuilder("dec")
+        g, x, y = kb.regs(3)
+        load_thread_ids(kb, g)
+        decompose_2d(kb, g, x, y, width=16)
+        kb.stg(x, g, offset=0)
+        kb.stg(y, g, offset=64)
+        out = run(kb.build())
+        assert np.array_equal(out.gmem[:64], np.arange(64) % 16)
+        assert np.array_equal(out.gmem[64:128], np.arange(64) // 16)
+
+    def test_clamped_neighbor(self):
+        kb = KernelBuilder("clamp")
+        g, left, right = kb.regs(3)
+        load_thread_ids(kb, g)
+        clamped_neighbor(kb, left, g, -1, 64)
+        clamped_neighbor(kb, right, g, +1, 64)
+        kb.stg(left, g, offset=0)
+        kb.stg(right, g, offset=64)
+        out = run(kb.build())
+        assert out.gmem[0] == 0          # clamped at the low edge
+        assert out.gmem[1] == 0
+        assert out.gmem[64 + 63] == 63   # clamped at the high edge
+        assert out.gmem[64] == 1
+
+    def test_validation(self):
+        kb = KernelBuilder("v")
+        a, b, c = kb.regs(3)
+        with pytest.raises(ValueError):
+            decompose_2d(kb, a, b, c, width=0)
+        with pytest.raises(ValueError):
+            clamped_neighbor(kb, a, b, 1, 0)

@@ -1,0 +1,89 @@
+"""End-to-end tests for dependent kernel chains (simulate_sequence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gpusimpow import BenchmarkResult, GPUSimPow
+from repro.sim import gt240, simulate_sequence
+from repro.workloads import bfs, build_benchmark, mergesort
+
+
+class TestBfsChain:
+    @pytest.fixture(scope="class")
+    def final_memory(self):
+        outs = simulate_sequence(gt240(), build_benchmark("bfs"))
+        return outs[-1].gmem
+
+    def test_full_bfs_level(self, final_memory):
+        row, edges, frontier, visited = bfs.make_graph()
+        ec = len(edges)
+        mask_off = bfs.EDGE_BASE + ec
+        upd_off = mask_off + bfs.N_NODES
+        vis_off = upd_off + bfs.N_NODES
+        expected = np.zeros(bfs.N_NODES)
+        for n in np.nonzero(frontier)[0]:
+            for e in range(int(row[n]), int(row[n + 1])):
+                nb = int(edges[e])
+                if visited[nb] == 0:
+                    expected[nb] = 1
+        # bfs2 consumed bfs1's updating flags: new frontier, visited set,
+        # updating cleared.
+        got_mask = final_memory[mask_off:mask_off + bfs.N_NODES]
+        got_upd = final_memory[upd_off:upd_off + bfs.N_NODES]
+        got_vis = final_memory[vis_off:vis_off + bfs.N_NODES]
+        assert np.array_equal(got_mask, expected)
+        assert (got_upd == 0).all()
+        assert np.array_equal(got_vis, np.maximum(visited, expected))
+
+
+class TestMergeSortChain:
+    def test_full_pipeline_produces_merged_runs(self):
+        """mergeSort1 -> 2 -> 3 -> 4 on one memory image: the final
+        merge consumes the tile sort's real output."""
+        outs = simulate_sequence(gt240(), build_benchmark("mergesort"))
+        final = outs[-1].gmem
+        keys = mergesort.make_inputs()
+        sorted_tiles = mergesort.reference_tile_sort(keys)
+        merged = final[mergesort.MERGED_OFF:mergesort.MERGED_OFF + mergesort.N]
+        assert np.array_equal(merged,
+                              mergesort.reference_merge(sorted_tiles))
+
+    def test_each_kernel_reports_own_activity(self):
+        outs = simulate_sequence(gt240(), build_benchmark("mergesort"))
+        issued = [o.activity.issued_instructions for o in outs]
+        # Four distinct kernels with very different sizes; the tiny
+        # mergeSort3 must not inherit the big sort's counts.
+        assert issued[2] < issued[0] / 100
+
+
+class TestSequenceSemantics:
+    def test_empty_sequence(self):
+        assert simulate_sequence(gt240(), []) == []
+
+    def test_single_matches_plain_run(self, launches):
+        from repro.sim import simulate
+        launch = launches["vectorAdd"]
+        seq = simulate_sequence(gt240(), [launch])[0]
+        solo = simulate(gt240(), launch)
+        assert np.array_equal(seq.gmem, solo.gmem)
+        assert seq.cycles == solo.cycles
+
+
+class TestBenchmarkResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return GPUSimPow(gt240()).run_benchmark("bfs")
+
+    def test_kernels_in_order(self, result):
+        assert [k.kernel_name for k in result.kernels] == ["bfs1", "bfs2"]
+
+    def test_aggregates(self, result):
+        assert result.total_runtime_s == pytest.approx(
+            sum(k.runtime_s for k in result.kernels))
+        assert result.total_energy_j > 0
+        assert result.average_power_w == pytest.approx(
+            result.total_energy_j / result.total_runtime_s)
+
+    def test_benchmark_result_type(self, result):
+        assert isinstance(result, BenchmarkResult)
+        assert result.benchmark == "bfs"

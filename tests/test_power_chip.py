@@ -1,0 +1,139 @@
+"""Tests for the chip representation against the paper's Table IV and V."""
+
+import pytest
+
+from repro.power import Chip, PowerNode
+from repro.sim.config import gt240, gtx580
+
+
+class TestTableIV:
+    """Static power and area (the paper's simulated column)."""
+
+    def test_gt240_static(self):
+        assert Chip(gt240()).static_power_w() == pytest.approx(17.9, abs=0.3)
+
+    def test_gt240_area(self):
+        assert Chip(gt240()).area_mm2() == pytest.approx(105, abs=5)
+
+    def test_gtx580_static(self):
+        assert Chip(gtx580()).static_power_w() == pytest.approx(81.5, abs=1.5)
+
+    def test_gtx580_area(self):
+        # Paper: 306 mm^2 simulated; our substrate is within ~10%.
+        assert Chip(gtx580()).area_mm2() == pytest.approx(306, rel=0.10)
+
+    def test_peak_dynamic_plausible(self):
+        # Peak dynamic far above any measured runtime dynamic, below
+        # absurd levels.
+        peak = Chip(gt240()).peak_dynamic_w()
+        assert 50 < peak < 1000
+
+
+class TestRuntimeEvaluation:
+    def test_idle_activity_zero_dynamic_cores(self):
+        chip = Chip(gt240())
+        report = chip.evaluate(chip.idle_activity())
+        cores = report.gpu.child("Cores")
+        # Base power needs active cores; idle window has none.
+        assert cores.child("Base Power").total_dynamic_w == 0.0
+        assert cores.child("Execution Units").total_dynamic_w == 0.0
+
+    def test_static_independent_of_activity(self, blackscholes_activity):
+        chip = Chip(gt240())
+        busy = chip.evaluate(blackscholes_activity)
+        idle = chip.evaluate(chip.idle_activity())
+        assert busy.chip_static_w == pytest.approx(idle.chip_static_w)
+
+    def test_component_summary_keys(self):
+        chip = Chip(gtx580())
+        summary = chip.component_summary()
+        assert "L2 Cache" in summary
+        assert "Undiff. Core" in summary
+        for stats in summary.values():
+            assert stats["leakage_w"] >= 0
+            assert stats["area_mm2"] >= 0
+
+
+class TestTableV:
+    """The blackscholes component breakdown on the GT240."""
+
+    @pytest.fixture(scope="class")
+    def report(self, blackscholes_result_gt240):
+        return blackscholes_result_gt240.power
+
+    def test_gpu_totals(self, report):
+        assert report.chip_static_w == pytest.approx(17.934, rel=0.02)
+        assert report.chip_dynamic_w == pytest.approx(19.207, rel=0.03)
+
+    @pytest.mark.parametrize("component,static,dynamic", [
+        ("NoC", 1.484, 1.229),
+        ("Memory Controller", 0.497, 1.753),
+        ("PCIe Controller", 0.539, 0.992),
+    ])
+    def test_uncore_rows(self, report, component, static, dynamic):
+        node = report.gpu.child(component)
+        assert node.total_static_w == pytest.approx(static, rel=0.05)
+        assert node.total_dynamic_w == pytest.approx(dynamic, rel=0.08)
+
+    def test_cores_dominate(self, report):
+        cores = report.gpu.child("Cores")
+        share = cores.total_w / report.gpu.total_w
+        assert share == pytest.approx(0.822, abs=0.03)
+
+    @pytest.mark.parametrize("component,static,dynamic", [
+        ("Base Power", 0.0, 0.199),
+        ("WCU", 0.042, 0.089),
+        ("Register File", 0.112, 0.173),
+        ("Execution Units", 0.0096, 0.556),
+        ("LDSTU", 0.234, 0.014),
+        ("Undiff. Core", 0.886, 0.0),
+    ])
+    def test_core_rows_per_core(self, report, component, static, dynamic):
+        node = report.gpu.child("Cores").child(component)
+        n = 12
+        assert node.total_static_w / n == pytest.approx(static, abs=0.01)
+        assert node.total_dynamic_w / n == pytest.approx(dynamic, abs=0.025)
+
+    def test_dram_reported_separately(self, report):
+        assert report.gpu.find("GDDR5 DRAM") is None
+        assert report.dram.total_dynamic_w == pytest.approx(4.3, abs=1.0)
+
+    def test_card_total(self, report):
+        assert report.card_total_w == pytest.approx(
+            report.chip_total_w + report.dram.total_dynamic_w)
+
+
+class TestPowerNode:
+    def test_totals_include_children(self):
+        root = PowerNode("root", static_w=1.0)
+        root.children.append(PowerNode("kid", static_w=2.0, dynamic_w=3.0))
+        assert root.total_static_w == 3.0
+        assert root.total_dynamic_w == 3.0
+        assert root.total_w == 6.0
+
+    def test_child_lookup(self):
+        root = PowerNode("root")
+        root.children.append(PowerNode("a"))
+        assert root.child("a").name == "a"
+        with pytest.raises(KeyError):
+            root.child("b")
+
+    def test_find_recursive(self):
+        root = PowerNode("root")
+        mid = PowerNode("mid")
+        mid.children.append(PowerNode("leaf"))
+        root.children.append(mid)
+        assert root.find("leaf") is not None
+        assert root.find("ghost") is None
+
+    def test_walk_visits_all(self):
+        root = PowerNode("root")
+        root.children.append(PowerNode("a"))
+        root.children.append(PowerNode("b"))
+        assert len(list(root.walk())) == 3
+
+    def test_format_contains_names(self):
+        root = PowerNode("root", static_w=1.0)
+        root.children.append(PowerNode("kid"))
+        text = root.format()
+        assert "root" in text and "kid" in text

@@ -1,0 +1,215 @@
+"""Unit tests for the architecture-tier power components."""
+
+import pytest
+
+from repro.power.components.basepower import (ClusterBasePower, CoreBasePower,
+                                              UndiffCorePower)
+from repro.power.components.dram import DRAMPower
+from repro.power.components.exec_units import ExecutionUnitsPower
+from repro.power.components.ldst import LDSTPower
+from repro.power.components.regfile import RegisterFilePower
+from repro.power.components.uncore import (L2Power, MemoryControllerPower,
+                                           NoCPower, PCIePower)
+from repro.power.components.wcu import WCUPower
+from repro.power.tech import tech_node
+from repro.sim.activity import ActivityReport
+from repro.sim.config import gt240, gtx580
+
+T40 = tech_node(40)
+
+
+def idle_activity(runtime_s=1e-3):
+    act = ActivityReport()
+    act.runtime_s = runtime_s
+    act.shader_cycles = runtime_s * gt240().shader_clock_hz
+    return act
+
+
+def active_report(**counts):
+    act = idle_activity()
+    act.active_cores = 12
+    act.active_clusters = 4
+    act.blocks_launched = 12
+    for name, value in counts.items():
+        setattr(act, name, value)
+    return act
+
+
+class TestExecutionUnits:
+    def test_idle_zero_dynamic(self):
+        comp = ExecutionUnitsPower(gt240(), T40)
+        assert comp.switching_w(idle_activity()) == 0.0
+
+    def test_energy_anchors(self):
+        comp = ExecutionUnitsPower(gt240(), T40)
+        assert comp.e_int == pytest.approx(40e-12)
+        assert comp.e_fp == pytest.approx(75e-12)
+
+    def test_dynamic_proportional_to_ops(self):
+        comp = ExecutionUnitsPower(gt240(), T40)
+        p1 = comp.switching_w(active_report(fp_ops=1e6))
+        p2 = comp.switching_w(active_report(fp_ops=2e6))
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_fp_costs_more_than_int(self):
+        comp = ExecutionUnitsPower(gt240(), T40)
+        p_int = comp.switching_w(active_report(int_ops=1e6))
+        p_fp = comp.switching_w(active_report(fp_ops=1e6))
+        assert p_fp > p_int
+
+    def test_table5_leakage(self):
+        comp = ExecutionUnitsPower(gt240(), T40)
+        per_core = comp.leakage_w() / 12
+        assert per_core == pytest.approx(0.0096, rel=0.05)
+
+    def test_peak_exceeds_any_runtime(self):
+        comp = ExecutionUnitsPower(gt240(), T40)
+        # busiest possible: every lane every cycle for the whole window
+        cfg = gt240()
+        cycles = idle_activity().shader_cycles
+        act = active_report(
+            fp_ops=cycles * cfg.n_fp_lanes * cfg.n_cores)
+        assert comp.peak_dynamic_w() >= comp.switching_w(act) * 0.99
+
+
+class TestWCUAndRF:
+    def test_wcu_table5_leakage(self):
+        comp = WCUPower(gt240(), T40)
+        assert comp.leakage_w() / 12 == pytest.approx(0.042, rel=0.05)
+
+    def test_rf_table5_leakage(self):
+        comp = RegisterFilePower(gt240(), T40)
+        assert comp.leakage_w() / 12 == pytest.approx(0.112, rel=0.05)
+
+    def test_gtx580_scoreboard_present(self):
+        with_sb = WCUPower(gtx580(), T40)
+        assert "scoreboard" in with_sb.circuits
+        without = WCUPower(gt240(), T40)
+        assert "scoreboard" not in without.circuits
+
+    def test_wcu_dynamic_from_issue_traffic(self):
+        comp = WCUPower(gt240(), T40)
+        act = active_report(wst_reads=2e6, wst_writes=1e6, decodes=1e6,
+                            icache_reads=1e6, ibuffer_writes=1e6,
+                            ibuffer_searches=1e6, fetch_scheduler_ops=1e6,
+                            issue_scheduler_ops=1e6)
+        assert comp.switching_w(act) > 0
+
+    def test_rf_dynamic_scales_with_bank_traffic(self):
+        comp = RegisterFilePower(gt240(), T40)
+        a = active_report(rf_reads=1e6, rf_bank_accesses=8e6,
+                          rf_xbar_transfers=8e6)
+        b = active_report(rf_reads=2e6, rf_bank_accesses=16e6,
+                          rf_xbar_transfers=16e6)
+        assert comp.switching_w(b) == pytest.approx(2 * comp.switching_w(a))
+
+
+class TestLDST:
+    def test_table5_leakage(self):
+        comp = LDSTPower(gt240(), T40)
+        assert comp.leakage_w() / 12 == pytest.approx(0.234, rel=0.05)
+
+    def test_bigger_smem_leaks_more(self):
+        small = LDSTPower(gt240(), T40)
+        big = LDSTPower(gt240().scaled(smem_size=48 * 1024), T40)
+        assert big.leakage_w() > small.leakage_w()
+
+    def test_smem_traffic_dynamic(self):
+        comp = LDSTPower(gt240(), T40)
+        act = active_report(smem_accesses=1e7, smem_xbar_transfers=1e7,
+                            bank_conflict_checks=3e5)
+        assert comp.switching_w(act) > 0
+
+
+class TestUncore:
+    def test_noc_static_anchor(self):
+        comp = NoCPower(gt240(), T40)
+        assert comp.leakage_w() == pytest.approx(1.484, rel=0.02)
+
+    def test_mc_static_anchor(self):
+        comp = MemoryControllerPower(gt240(), T40)
+        assert comp.leakage_w() == pytest.approx(0.497, rel=0.02)
+
+    def test_pcie_static_anchor(self):
+        comp = PCIePower(gt240(), T40)
+        assert comp.leakage_w() == pytest.approx(0.539, rel=0.02)
+
+    def test_pcie_constant_while_active(self):
+        comp = PCIePower(gt240(), T40)
+        assert comp.switching_w(idle_activity()) > 0.8
+        silent = ActivityReport()
+        assert comp.switching_w(silent) == 0.0
+
+    def test_noc_flits_add_power(self):
+        comp = NoCPower(gt240(), T40)
+        base = comp.switching_w(idle_activity())
+        busy = comp.switching_w(active_report(noc_flits=1e8))
+        assert busy > base
+
+    def test_l2_only_for_l2_configs(self):
+        comp = L2Power(gtx580(), T40)
+        assert comp.leakage_w() > 0
+        act = active_report(l2_reads=1e6, l2_writes=1e5, l2_misses=1e5)
+        assert comp.switching_w(act) > 0
+
+
+class TestBaseAndUndiff:
+    def test_core_base_anchor(self):
+        comp = CoreBasePower(gt240(), T40)
+        assert comp.per_core_w == pytest.approx(0.199, rel=0.01)
+
+    def test_core_base_counts_active_cores(self):
+        comp = CoreBasePower(gt240(), T40)
+        act = active_report()
+        act.active_cores = 5
+        assert comp.switching_w(act) == pytest.approx(5 * 0.199, rel=0.01)
+
+    def test_cluster_anchor(self):
+        comp = ClusterBasePower(gt240(), T40)
+        assert comp.per_cluster_w == pytest.approx(0.692, rel=0.01)
+        assert comp.scheduler_w == pytest.approx(3.34, rel=0.01)
+
+    def test_undiff_anchor(self):
+        comp = UndiffCorePower(gt240(), T40)
+        assert comp.per_core_w == pytest.approx(0.886, rel=0.01)
+        assert comp.switching_w(active_report()) == 0.0
+
+    def test_undiff_scales_with_leakage_bin(self):
+        hot = UndiffCorePower(gt240().scaled(leakage_bin=2.0), T40)
+        assert hot.per_core_w == pytest.approx(2 * 0.886, rel=0.01)
+
+    def test_wider_core_more_base_power(self):
+        narrow = CoreBasePower(gt240(), T40)
+        wide = CoreBasePower(gt240().scaled(n_fp_lanes=16, n_int_lanes=16),
+                             T40)
+        assert wide.per_core_w > narrow.per_core_w
+
+
+class TestDRAM:
+    def test_five_components(self):
+        comp = DRAMPower(gt240(), T40)
+        parts = comp.component_powers(active_report(
+            dram_reads=1e5, dram_writes=1e4, dram_activates=1e4,
+            dram_refreshes=128))
+        assert set(parts) == {"background", "activate", "read_write",
+                              "termination", "refresh"}
+        assert all(v >= 0 for v in parts.values())
+        assert parts["background"] > 0
+
+    def test_idle_only_background(self):
+        comp = DRAMPower(gt240(), T40)
+        parts = comp.component_powers(idle_activity())
+        assert parts["read_write"] == 0 and parts["activate"] == 0
+
+    def test_device_count(self):
+        assert DRAMPower(gt240(), T40).n_devices == 4       # 128-bit bus
+        assert DRAMPower(gtx580(), T40).n_devices == 12     # 384-bit bus
+
+    def test_peak_below_plausible_card_limit(self):
+        comp = DRAMPower(gtx580(), T40)
+        assert 5 < comp.peak_dynamic_w() < 80
+
+    def test_node_reports_children(self):
+        comp = DRAMPower(gt240(), T40)
+        node = comp.node(active_report(dram_reads=1e5))
+        assert len(node.children) == 5

@@ -1,0 +1,111 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import SetAssocCache
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = SetAssocCache(1024, 64, 4)
+        assert c.n_sets == 4
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(1000, 64, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 64, 4)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = SetAssocCache(1024, 64, 4)
+        assert not c.lookup(0)
+        assert c.lookup(0)
+        assert c.read_misses == 1 and c.reads == 2
+
+    def test_same_line_hits(self):
+        c = SetAssocCache(1024, 64, 4)
+        c.lookup(0)
+        assert c.lookup(63)
+        assert not c.lookup(64)
+
+    def test_lru_eviction_order(self):
+        c = SetAssocCache(2 * 64, 64, 2)  # 1 set, 2 ways
+        c.lookup(0)
+        c.lookup(64)
+        c.lookup(0)        # 0 is now MRU
+        c.lookup(128)      # evicts 64
+        assert c.probe(0)
+        assert not c.probe(64)
+        assert c.evictions == 1
+
+    def test_write_no_allocate(self):
+        c = SetAssocCache(1024, 64, 4)
+        c.lookup(0, is_write=True, allocate=False)
+        assert c.write_misses == 1
+        assert not c.probe(0)
+
+    def test_write_allocate(self):
+        c = SetAssocCache(1024, 64, 4)
+        c.lookup(0, is_write=True, allocate=True)
+        assert c.probe(0)
+
+    def test_probe_no_side_effects(self):
+        c = SetAssocCache(1024, 64, 4)
+        c.probe(0)
+        assert c.accesses == 0 and not c.probe(0)
+
+    def test_flush(self):
+        c = SetAssocCache(1024, 64, 4)
+        c.lookup(0)
+        c.flush()
+        assert not c.probe(0)
+        assert c.reads == 1  # counters preserved
+
+    def test_miss_rate(self):
+        c = SetAssocCache(1024, 64, 4)
+        assert c.miss_rate() == 0.0
+        c.lookup(0)
+        c.lookup(0)
+        assert c.miss_rate() == 0.5
+
+    def test_working_set_within_capacity_all_hits(self):
+        c = SetAssocCache(4096, 64, 4)
+        lines = [i * 64 for i in range(64)]  # exactly fills the cache
+        for addr in lines:
+            c.lookup(addr)
+        for addr in lines:
+            assert c.lookup(addr), f"line {addr} should still be resident"
+
+
+class TestProperties:
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        c = SetAssocCache(1024, 64, 4)
+        for a in addrs:
+            c.lookup(a)
+        for ways in c._sets:
+            assert len(ways) <= c.assoc
+
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, addrs):
+        c = SetAssocCache(2048, 64, 4)
+        for a in addrs:
+            c.lookup(a)
+            assert c.probe(a)
+
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_consistent(self, addrs):
+        c = SetAssocCache(2048, 64, 4)
+        for a in addrs:
+            c.lookup(a)
+        assert c.reads == len(addrs)
+        assert c.misses <= c.accesses

@@ -1,0 +1,233 @@
+"""Unit tests for front-end structures: warps, scoreboard, instruction
+buffer, execution unit pipelines, register file activity, WCU counts."""
+
+import numpy as np
+import pytest
+
+from repro.isa import KernelBuilder
+from repro.sim.config import gt240, gtx580
+from repro.sim.exec_units import ExecutionUnits
+from repro.sim.ibuffer import InstructionBuffer
+from repro.sim.regfile import RegisterFile
+from repro.sim.scoreboard import Scoreboard
+from repro.sim.warp import Warp
+from repro.sim.wcu import WarpControlUnit
+
+
+def make_warp(**kw):
+    kb = KernelBuilder("t")
+    r = kb.regs(4)
+    kb.iadd(r[0], r[1], r[2])
+    kernel = kb.build()
+    specials = {"tid": np.arange(32, dtype=np.float64)}
+    return Warp(0, 0, 0, kernel, specials, 32, **kw)
+
+
+class TestWarp:
+    def test_initial_issuable(self):
+        w = make_warp()
+        assert w.issuable(0.0, has_scoreboard=True, scoreboard_limit=2)
+
+    def test_blocked_until(self):
+        w = make_warp()
+        w.blocked_until = 10.0
+        assert not w.issuable(5.0, True, 2)
+        assert w.issuable(10.0, True, 2)
+
+    def test_done_not_issuable(self):
+        w = make_warp()
+        w.done = True
+        assert not w.issuable(0.0, True, 2)
+
+    def test_barrier_not_issuable(self):
+        w = make_warp()
+        w.at_barrier = True
+        assert not w.issuable(0.0, True, 2)
+
+    def test_scoreboard_limit_blocks(self):
+        w = make_warp()
+        w.reserve(1)
+        w.reserve(2)
+        assert not w.issuable(0.0, True, 2)
+        assert w.issuable(0.0, False, 2)  # barrel mode ignores the limit
+
+    def test_hazard_detection(self):
+        w = make_warp()
+        w.reserve(3)
+        assert w.has_hazard((3,), None)          # RAW
+        assert w.has_hazard((), 3)               # WAW
+        assert not w.has_hazard((1, 2), 4)
+
+    def test_release_refcounts(self):
+        w = make_warp()
+        w.reserve(3)
+        w.reserve(3)
+        w.release(3)
+        assert w.has_hazard((3,), None)
+        w.release(3)
+        assert not w.has_hazard((3,), None)
+
+    def test_partial_initial_mask(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[:10] = True
+        w = make_warp(initial_mask=mask)
+        assert w.active_mask.sum() == 10
+
+
+class TestScoreboard:
+    def test_counts_searches_and_writes(self):
+        sb = Scoreboard(True, 2)
+        w = make_warp()
+        sb.reserve(w, 1)
+        assert sb.writes == 1
+        assert sb.has_hazard(w, (1,), None)
+        assert sb.searches == 1
+        sb.release(w, 1)
+        assert sb.writes == 2
+
+    def test_none_dst_not_counted(self):
+        sb = Scoreboard(True, 2)
+        w = make_warp()
+        sb.reserve(w, None)
+        assert sb.writes == 0
+
+    def test_can_reserve_capacity(self):
+        sb = Scoreboard(True, 2)
+        w = make_warp()
+        sb.reserve(w, 1)
+        assert sb.can_reserve(w)
+        sb.reserve(w, 2)
+        assert not sb.can_reserve(w)
+
+
+class TestInstructionBuffer:
+    def test_fill_and_issue(self):
+        ib = InstructionBuffer(4, 2)
+        ib.fill(0)
+        ib.issue(0)
+        assert ib.writes == 1 and ib.searches == 1
+
+    def test_capacity_enforced(self):
+        ib = InstructionBuffer(4, 2)
+        ib.fill(0)
+        ib.fill(0)
+        assert not ib.can_fetch(0)
+        with pytest.raises(RuntimeError):
+            ib.fill(0)
+
+    def test_issue_from_empty_raises(self):
+        ib = InstructionBuffer(4, 2)
+        with pytest.raises(RuntimeError):
+            ib.issue(0)
+
+    def test_flush(self):
+        ib = InstructionBuffer(4, 2)
+        ib.fill(1)
+        ib.fill(1)
+        ib.flush(1)
+        assert ib.can_fetch(1)
+        assert ib.flushes == 2
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            InstructionBuffer(4, 0)
+
+
+class TestExecutionUnits:
+    def test_gt240_occupancies(self):
+        eu = ExecutionUnits(gt240())
+        assert eu.groups["int"].occupancy == 4   # 32 threads / 8 lanes
+        assert eu.groups["fp"].occupancy == 4
+        assert eu.groups["sfu"].occupancy == 16  # 32 / 2 SFUs
+
+    def test_gtx580_single_cycle_fp(self):
+        eu = ExecutionUnits(gtx580())
+        assert eu.groups["fp"].occupancy == 1
+
+    def test_issue_blocks_group(self):
+        eu = ExecutionUnits(gt240())
+        eu.issue("fp", 0.0, 32)
+        assert not eu.can_accept("fp", 1.0)
+        assert eu.can_accept("fp", 4.0)
+        assert eu.can_accept("int", 1.0)   # other groups independent
+
+    def test_issue_while_busy_raises(self):
+        eu = ExecutionUnits(gt240())
+        eu.issue("fp", 0.0, 32)
+        with pytest.raises(RuntimeError):
+            eu.issue("fp", 1.0, 32)
+
+    def test_completion_after_latency(self):
+        cfg = gt240()
+        eu = ExecutionUnits(cfg)
+        done = eu.issue("fp", 0.0, 32)
+        assert done == cfg.fu_cycles_per_warp + cfg.alu_latency_cycles
+
+    def test_lane_op_accounting(self):
+        eu = ExecutionUnits(gt240())
+        eu.issue("int", 0.0, 17)
+        assert eu.lane_ops("int") == 17
+
+    def test_next_free(self):
+        eu = ExecutionUnits(gt240())
+        eu.issue("fp", 0.0, 32)
+        eu.issue("int", 0.0, 32)
+        eu.issue("sfu", 0.0, 32)
+        assert eu.next_free(0.0) == 4.0
+
+
+class TestRegisterFile:
+    def test_full_warp_operand_banks(self):
+        rf = RegisterFile(gt240())
+        cycles = rf.read_operands(2, 32)
+        assert rf.operand_reads == 2
+        assert rf.bank_accesses == 16  # 2 operands x 8 bank beats
+        assert cycles >= 1
+
+    def test_narrow_access_fewer_banks(self):
+        rf = RegisterFile(gt240())
+        rf.read_operands(1, 4)
+        assert rf.bank_accesses == 1
+
+    def test_write_result(self):
+        rf = RegisterFile(gt240())
+        rf.write_result(32)
+        assert rf.operand_writes == 1
+        assert rf.bank_accesses == 8
+
+    def test_zero_operands_free(self):
+        rf = RegisterFile(gt240())
+        assert rf.read_operands(0, 32) == 0
+        assert rf.bank_accesses == 0
+
+    def test_collector_dispatch(self):
+        rf = RegisterFile(gt240())
+        rf.dispatch()
+        assert rf.collector_reads == 1
+
+
+class TestWCU:
+    def test_account_issue_touches_structures(self):
+        wcu = WarpControlUnit(gt240())
+        wcu.account_issue(0, pc=0)
+        assert wcu.fetches == 1
+        assert wcu.decodes == 1
+        assert wcu.wst_reads == 2
+        assert wcu.wst_writes == 1
+        assert wcu.ibuffer.writes == 1
+        assert wcu.ibuffer.searches == 1
+        assert wcu.icache.reads == 1
+
+    def test_icache_locality(self):
+        wcu = WarpControlUnit(gt240())
+        for pc in range(8):
+            wcu.account_issue(0, pc)
+        # 8 instructions x 8 bytes = one 64-byte line: one cold miss.
+        assert wcu.icache.misses == 1
+
+    def test_schedule_cycle_counter(self):
+        wcu = WarpControlUnit(gt240())
+        wcu.account_schedule_cycle()
+        wcu.account_schedule_cycle()
+        assert wcu.fetch_scheduler_ops == 2
+        assert wcu.issue_scheduler_ops == 2

@@ -1,0 +1,167 @@
+"""Unit and property tests for the reconvergence stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stack import ReconvergenceStack
+
+
+def mask(*lanes, size=8):
+    m = np.zeros(size, dtype=bool)
+    for lane in lanes:
+        m[lane] = True
+    return m
+
+
+def full(size=8):
+    return np.ones(size, dtype=bool)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        s = ReconvergenceStack(8)
+        pc, m = s.current()
+        assert pc == 0 and m.all() and s.depth == 1
+
+    def test_initial_mask_respected(self):
+        s = ReconvergenceStack(8, initial_mask=mask(0, 1, 2))
+        _, m = s.current()
+        assert m.sum() == 3
+
+    def test_advance_moves_pc(self):
+        s = ReconvergenceStack(8)
+        s.advance(5)
+        assert s.current()[0] == 5
+
+    def test_advance_on_empty_raises(self):
+        s = ReconvergenceStack(8)
+        s.exit_lanes(full())
+        with pytest.raises(RuntimeError):
+            s.advance(1)
+
+
+class TestDivergence:
+    def test_uniform_taken_no_push(self):
+        s = ReconvergenceStack(8)
+        diverged = s.diverge(full(), target=10, fallthrough=1, reconv_pc=20)
+        assert not diverged
+        assert s.current()[0] == 10 and s.depth == 1
+
+    def test_uniform_not_taken_no_push(self):
+        s = ReconvergenceStack(8)
+        diverged = s.diverge(mask(), target=10, fallthrough=1, reconv_pc=20)
+        assert not diverged
+        assert s.current()[0] == 1
+
+    def test_divergent_executes_taken_first(self):
+        s = ReconvergenceStack(8)
+        assert s.diverge(mask(0, 1), target=10, fallthrough=1, reconv_pc=20)
+        pc, m = s.current()
+        assert pc == 10 and m.sum() == 2
+        assert s.depth == 3
+
+    def test_reconvergence_pops_and_restores(self):
+        s = ReconvergenceStack(8)
+        s.diverge(mask(0), target=10, fallthrough=1, reconv_pc=20)
+        # taken side runs to the reconvergence point
+        s.advance(20)
+        pc, m = s.current()
+        assert pc == 1 and m.sum() == 7      # fall-through side next
+        s.advance(20)
+        pc, m = s.current()
+        assert pc == 20 and m.all()          # reconverged
+
+    def test_branch_to_reconvergence_point_not_executed(self):
+        # Taken target == reconvergence PC: taken lanes wait reconverged.
+        s = ReconvergenceStack(8)
+        assert s.diverge(mask(0, 1), target=7, fallthrough=1, reconv_pc=7)
+        pc, m = s.current()
+        assert pc == 1 and m.sum() == 6      # only the not-taken side runs
+        assert s.depth == 2
+
+    def test_loop_backedge_fallthrough_is_reconv(self):
+        # Backward branch: fallthrough == reconv; non-loopers just wait.
+        s = ReconvergenceStack(8)
+        assert s.diverge(mask(3, 4, 5), target=2, fallthrough=9, reconv_pc=9)
+        pc, m = s.current()
+        assert pc == 2 and m.sum() == 3
+        s.advance(9)                          # loopers reach the exit
+        pc, m = s.current()
+        assert pc == 9 and m.all()
+
+    def test_nested_divergence(self):
+        s = ReconvergenceStack(8)
+        s.diverge(mask(0, 1, 2, 3), target=10, fallthrough=1, reconv_pc=30)
+        s.diverge(mask(0, 1), target=15, fallthrough=11, reconv_pc=25)
+        pc, m = s.current()
+        assert pc == 15 and m.sum() == 2
+        assert s.max_depth >= 4
+
+
+class TestExit:
+    def test_exit_all_empties_stack(self):
+        s = ReconvergenceStack(8)
+        s.exit_lanes(full())
+        assert s.empty
+
+    def test_partial_exit_keeps_remaining(self):
+        s = ReconvergenceStack(8)
+        s.exit_lanes(mask(0, 1, 2))
+        _, m = s.current()
+        assert m.sum() == 5
+
+    def test_exit_inside_divergence_pops_empty_tokens(self):
+        s = ReconvergenceStack(8)
+        s.diverge(mask(0, 1), target=10, fallthrough=1, reconv_pc=20)
+        s.exit_lanes(mask(0, 1))  # entire taken side exits
+        pc, m = s.current()
+        assert pc == 1 and m.sum() == 6
+
+    def test_counters(self):
+        s = ReconvergenceStack(8)
+        s.diverge(mask(0), target=10, fallthrough=1, reconv_pc=20)
+        assert s.pushes == 2
+        s.advance(20)
+        assert s.pops == 1
+
+
+@st.composite
+def lane_masks(draw):
+    size = 32
+    bits = draw(st.lists(st.booleans(), min_size=size, max_size=size))
+    return np.array(bits, dtype=bool)
+
+
+class TestProperties:
+    @given(taken=lane_masks())
+    @settings(max_examples=60, deadline=None)
+    def test_mask_partition_invariant(self, taken):
+        """Taken + not-taken masks always partition the active mask."""
+        s = ReconvergenceStack(32)
+        active_before = s.current()[1].copy()
+        s.diverge(taken, target=10, fallthrough=1, reconv_pc=20)
+        covered = np.zeros(32, dtype=bool)
+        for token in s._tokens:
+            # Tokens must be disjoint except the reconvergence token,
+            # which is the union.
+            covered |= token.mask
+        assert (covered == active_before).all()
+
+    @given(taken=lane_masks())
+    @settings(max_examples=60, deadline=None)
+    def test_reconvergence_restores_full_mask(self, taken):
+        """Running both sides to the reconvergence point restores the
+        original active mask exactly."""
+        s = ReconvergenceStack(32)
+        original = s.current()[1].copy()
+        s.diverge(taken, target=10, fallthrough=1, reconv_pc=20)
+        guard = 0
+        while s.current()[0] != 20 and guard < 10:
+            s.advance(20)
+            guard += 1
+        pc, m = s.current()
+        assert pc == 20
+        assert (m == original).all()
+        assert s.depth == 1
