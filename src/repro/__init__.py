@@ -20,19 +20,33 @@ Package map:
 * :mod:`repro.hw` -- virtual hardware + measurement testbed
 * :mod:`repro.workloads` -- the 19 evaluation kernels of Table I
 * :mod:`repro.core` -- the GPUSimPow facade and validation harness
+* :mod:`repro.runner` -- parallel simulation jobs + on-disk result cache
 * :mod:`repro.experiments` -- per-table/figure reproduction drivers
 """
+
+#: Simulator-semantics version tag, embedded in every runner cache key
+#: (defined *before* the subpackage imports below so that
+#: :mod:`repro.runner` can read it during package initialisation).
+#:
+#: Bump rule: increment whenever a change alters simulation *results* --
+#: activity counters, timing, functional values, or anything else the
+#: power model consumes -- as opposed to pure performance, packaging or
+#: reporting changes.  A bump makes every existing cache entry miss, so
+#: stale entries can never silently poison validation numbers.
+SIM_VERSION = "2013.1"
 
 from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
 from .core.validation import SuiteValidation, validate_suite
 from .power.chip import Chip
 from .power.result import PowerNode, PowerReport
+from .runner import JobResult, ResultCache, SimJob, run_jobs
 from .sim.config import GPUConfig, gt240, gtx580, preset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",
+    "SimJob", "JobResult", "ResultCache", "run_jobs", "SIM_VERSION",
 ]

@@ -10,6 +10,14 @@ serves both from a shell:
     gpusimpow arch --gpu GTX580
     gpusimpow list
     gpusimpow arch --config my_gpu.xml
+    gpusimpow validate --gpu GT240 --jobs 4
+    gpusimpow validate --gpu GTX580 --no-cache
+
+``run`` and ``validate`` execute their simulations through
+:mod:`repro.runner`: ``--jobs N`` fans the per-kernel simulations out
+over N worker processes, and results are cached on disk by content
+(``--no-cache`` opts out).  Results are bit-identical across all
+execution paths, so the flags only change speed, never numbers.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import sys
 from typing import Optional
 
 from .core.gpusimpow import GPUSimPow
+from .runner import ResultCache, SimJob, run_jobs
 from .sim.activity import ActivityReport
 from .sim.config import GPUConfig, preset
 from .workloads import all_kernel_launches, benchmark_info, benchmark_names
@@ -29,6 +38,33 @@ def _load_config(args) -> GPUConfig:
         with open(args.config, "r", encoding="utf-8") as handle:
             return GPUConfig.from_xml(handle.read())
     return preset(args.gpu)
+
+
+def _runner_options(args):
+    """(jobs, cache, progress) for the runner-backed subcommands.
+
+    The CLI caches by default (``--no-cache`` opts out); progress lines
+    go to stderr, and only when a pool is actually in play, so stdout
+    stays machine-parseable.
+    """
+    jobs = getattr(args, "jobs", None)
+    cache = None if getattr(args, "no_cache", False) else ResultCache()
+    progress = None
+    if jobs is not None and jobs > 1:
+        def progress(done, total, result):
+            tag = "cached" if result.cached \
+                else f"{result.duration_s:.2f}s"
+            print(f"  [{done}/{total}] {result.label} ({tag})",
+                  file=sys.stderr)
+    return jobs, cache, progress
+
+
+def _add_runner_args(p) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for the simulations "
+                        "(default: REPRO_JOBS or serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk activity result cache")
 
 
 def _cmd_list(args) -> int:
@@ -59,7 +95,11 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     sim = GPUSimPow(config)
-    result = sim.run(launches[args.kernel])
+    jobs, cache, progress = _runner_options(args)
+    job, = run_jobs([SimJob(config=config, kernel=args.kernel,
+                            launch=launches[args.kernel])],
+                    n_jobs=jobs, cache=cache, progress=progress)
+    result = sim.run(launches[args.kernel], activity=job.activity)
     print(f"{args.kernel} on {config.name}:")
     print(f"  runtime:       {result.runtime_s * 1e6:10.2f} us "
           f"({result.performance.cycles:.0f} shader cycles, "
@@ -137,7 +177,9 @@ def _cmd_disasm(args) -> int:
 def _cmd_validate(args) -> int:
     from .core.validation import validate_suite
     names = args.kernels.split(",") if args.kernels else None
-    suite = validate_suite(_load_config(args), kernel_names=names)
+    jobs, cache, progress = _runner_options(args)
+    suite = validate_suite(_load_config(args), kernel_names=names,
+                           jobs=jobs, cache=cache, progress=progress)
     print(f"{suite.gpu}: avg relative error "
           f"{suite.average_relative_error * 100:.1f}%, "
           f"dynamic-only {suite.average_dynamic_error * 100:.1f}%, "
@@ -179,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full component power tree")
     p_run.add_argument("--save-trace", default=None, metavar="FILE",
                        help="save the activity trace as JSON")
+    _add_runner_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_analyze = sub.add_parser("analyze",
@@ -203,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_gpu_args(p_val)
     p_val.add_argument("--kernels", default=None,
                        help="comma-separated kernel subset")
+    _add_runner_args(p_val)
     p_val.set_defaults(func=_cmd_validate)
     return parser
 

@@ -26,9 +26,9 @@ import numpy as np
 from ..hw.measure import MeasurementTool
 from ..hw.testbed import Testbed
 from ..hw.virtual_gpu import VirtualGPU
+from ..runner import AUTO, SimJob, run_jobs
 from ..sim.activity import ActivityReport
 from ..sim.config import GPUConfig
-from ..sim.gpu import GPU
 from ..workloads import all_kernel_launches
 
 #: The performance-counter-style features the regression sees, as rates
@@ -59,7 +59,8 @@ class StatisticalPowerModel:
 
     @classmethod
     def fit(cls, config: GPUConfig, kernel_names: Sequence[str],
-            seed: int = 41, ridge: float = 1e-2) -> "StatisticalPowerModel":
+            seed: int = 41, ridge: float = 1e-2,
+            jobs=None, cache=AUTO) -> "StatisticalPowerModel":
         """Train on testbed measurements of ``kernel_names``.
 
         The training measurements run through the same virtual card and
@@ -69,10 +70,10 @@ class StatisticalPowerModel:
         launches = all_kernel_launches()
         session = []
         activities: Dict[str, ActivityReport] = {}
+        results = _simulate_kernels(config, kernel_names, jobs, cache)
         for name in kernel_names:
-            out = GPU(config).run(launches[name])
-            activities[name] = out.activity
-            session.append((name, out.activity, launches[name].repeat,
+            activities[name] = results[name]
+            session.append((name, results[name], launches[name].repeat,
                             launches[name].repeatable))
         bed = Testbed(VirtualGPU(config), seed=seed)
         tool = MeasurementTool(bed.run_session(session))
@@ -107,17 +108,26 @@ class ModelEvaluation:
         return float(max(abs(e) for e in self.errors.values()))
 
 
+def _simulate_kernels(config, kernel_names, jobs, cache):
+    """Activity reports for ``kernel_names``, fanned out via the runner."""
+    launches = all_kernel_launches()
+    sim_jobs = [SimJob(config=config, kernel=name, launch=launches[name])
+                for name in kernel_names]
+    job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache)
+    return {name: jr.activity
+            for name, jr in zip(kernel_names, job_results)}
+
+
 def evaluate_statistical(model: StatisticalPowerModel, config: GPUConfig,
                          kernel_names: Sequence[str],
-                         seed: int = 47) -> ModelEvaluation:
+                         seed: int = 47,
+                         jobs=None, cache=AUTO) -> ModelEvaluation:
     """Measure ``kernel_names`` on ``config``'s card and score the model."""
     launches = all_kernel_launches()
     session = []
-    activities = {}
+    activities = _simulate_kernels(config, kernel_names, jobs, cache)
     for name in kernel_names:
-        out = GPU(config).run(launches[name])
-        activities[name] = out.activity
-        session.append((name, out.activity, launches[name].repeat,
+        session.append((name, activities[name], launches[name].repeat,
                         launches[name].repeatable))
     bed = Testbed(VirtualGPU(config), seed=seed)
     tool = MeasurementTool(bed.run_session(session))
@@ -134,11 +144,12 @@ def evaluate_statistical(model: StatisticalPowerModel, config: GPUConfig,
 
 
 def evaluate_gpusimpow(config: GPUConfig, kernel_names: Sequence[str],
-                       seed: int = 47) -> ModelEvaluation:
+                       seed: int = 47,
+                       jobs=None, cache=AUTO) -> ModelEvaluation:
     """The same scoring for GPUSimPow (architectural model)."""
     from .validation import validate_suite
     suite = validate_suite(config, kernel_names=list(kernel_names),
-                           seed=seed)
+                           seed=seed, jobs=jobs, cache=cache)
     errors = {
         k.kernel: (k.simulated_total_w - k.measured_total_w)
         / k.measured_total_w

@@ -24,6 +24,7 @@ from ..hw.static_power import (gt240_static_idle_ratio,
 from ..hw.testbed import Testbed
 from ..hw.virtual_gpu import UnsupportedByDriver, VirtualGPU
 from ..isa.launch import KernelLaunch
+from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import GPUConfig
 from ..workloads import all_kernel_launches
 from .gpusimpow import GPUSimPow
@@ -109,17 +110,37 @@ class SuiteValidation:
 def validate_suite(config: GPUConfig,
                    kernel_names: Optional[List[str]] = None,
                    seed: int = 17,
-                   gt240_idle_ratio: float = 0.9026) -> SuiteValidation:
-    """Run the full Fig. 6 comparison for one GPU configuration."""
+                   gt240_idle_ratio: float = 0.9026,
+                   jobs: Optional[int] = None,
+                   cache=AUTO,
+                   progress=None) -> SuiteValidation:
+    """Run the full Fig. 6 comparison for one GPU configuration.
+
+    Args:
+        jobs: Worker processes for the performance simulations (None =
+            runner default, see :func:`repro.runner.resolve_jobs`).
+        cache: Activity-result cache policy, passed through to
+            :func:`repro.runner.run_jobs`.
+        progress: Optional ``(done, total, result)`` callback, passed
+            through to :func:`repro.runner.run_jobs`.
+    """
     launches = all_kernel_launches()
     names = kernel_names or sorted(launches)
     sim = GPUSimPow(config)
 
+    # The cycle simulations are the expensive, embarrassingly parallel
+    # part; fan them out through the runner, then evaluate the (cheap)
+    # power model serially on each returned activity report.
+    sim_jobs = [SimJob(config=config, kernel=name, launch=launches[name])
+                for name in names]
+    job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache,
+                           progress=progress)
+
     rows: List[KernelValidation] = []
     session = []
     results = {}
-    for name in names:
-        result = sim.run(launches[name])
+    for name, jr in zip(names, job_results):
+        result = sim.run(launches[name], activity=jr.activity)
         results[name] = result
         session.append((name, result.activity, launches[name].repeat,
                         launches[name].repeatable))

@@ -1,13 +1,38 @@
-"""Run every experiment: python -m repro.experiments [name...]"""
+"""Run every experiment: python -m repro.experiments [name...]
 
-import sys
+Options:
+    --jobs N     worker processes for all simulations (runner default)
+    --no-cache   bypass the on-disk activity result cache
 
+Both options configure the process-wide runner defaults, so every
+experiment module picks them up without plumbing.
+"""
+
+import argparse
+
+from ..runner import ResultCache, set_default_cache, set_default_jobs
 from . import ALL_EXPERIMENTS
 
 
 def main() -> None:
-    """Regenerate and print this artifact."""
-    names = sys.argv[1:] or list(ALL_EXPERIMENTS)
+    """Regenerate and print the requested artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="regenerate the paper's tables and figures")
+    parser.add_argument("names", nargs="*", metavar="experiment",
+                        help=f"subset to run (default: all of "
+                             f"{sorted(ALL_EXPERIMENTS)})")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the simulations")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk activity result cache")
+    args = parser.parse_args()
+
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
+    set_default_cache(None if args.no_cache else ResultCache())
+
+    names = args.names or list(ALL_EXPERIMENTS)
     for name in names:
         if name not in ALL_EXPERIMENTS:
             raise SystemExit(f"unknown experiment {name!r}; "

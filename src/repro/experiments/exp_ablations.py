@@ -20,6 +20,7 @@ from typing import Dict, List
 
 from ..core.gpusimpow import GPUSimPow
 from ..power.chip import Chip
+from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import GPUConfig, gt240
 from ..workloads import all_kernel_launches
 
@@ -37,65 +38,83 @@ class AblationPoint:
 
     @classmethod
     def measure(cls, label: str, config: GPUConfig, kernel: str) -> "AblationPoint":
-        launch = all_kernel_launches()[kernel]
-        result = GPUSimPow(config).run(launch)
-        return cls(
+        return _measure([(label, config, kernel)])[0]
+
+
+def _measure(specs, jobs=None, cache=AUTO):
+    """Simulate ``(label, config, kernel)`` specs in one runner fan-out
+    and evaluate the power model on each returned activity report."""
+    launches = all_kernel_launches()
+    sim_jobs = [SimJob(config=config, kernel=kernel,
+                       launch=launches[kernel], tag=label)
+                for label, config, kernel in specs]
+    points = []
+    for (label, config, kernel), jr in zip(
+            specs, run_jobs(sim_jobs, n_jobs=jobs, cache=cache)):
+        result = GPUSimPow(config).run(launches[kernel],
+                                       activity=jr.activity)
+        points.append(AblationPoint(
             label=label,
             kernel=kernel,
             cycles=result.performance.cycles,
             chip_dynamic_w=result.chip_dynamic_w,
             chip_total_w=result.chip_total_w,
             energy_mj=result.chip_total_w * result.runtime_s * 1e3,
-        )
+        ))
+    return points
+
+
+def _scoreboard_specs(kernel: str = "BlackScholes"):
+    return [("barrel (no scoreboard)", gt240(), kernel),
+            ("scoreboard", gt240().scaled(has_scoreboard=True), kernel)]
+
+
+def _regfile_specs(kernel: str = "matrixMul"):
+    return [(f"{banks} RF banks", gt240().scaled(regfile_banks=banks),
+             kernel) for banks in (8, 16, 32)]
+
+
+def _coalescing_specs(kernel: str = "hotspot"):
+    return [("coalescing on", gt240(), kernel),
+            ("coalescing off",
+             gt240().scaled(coalescing_enabled=False), kernel)]
+
+
+def _scheduler_specs(kernel: str = "matrixMul"):
+    return [(f"scheduler {policy}",
+             gt240().scaled(warp_scheduler=policy), kernel)
+            for policy in ("rr", "gto", "two_level")]
+
+
+def _warp_size_specs(kernel: str = "BlackScholes"):
+    return [(f"warp {warp}", gt240().scaled(warp_size=warp), kernel)
+            for warp in (16, 32, 64)]
 
 
 def scoreboard_ablation(kernel: str = "BlackScholes") -> List[AblationPoint]:
     """Barrel (GT240 default) vs. scoreboarded front-end."""
-    base = gt240()
-    with_sb = base.scaled(has_scoreboard=True)
-    return [
-        AblationPoint.measure("barrel (no scoreboard)", base, kernel),
-        AblationPoint.measure("scoreboard", with_sb, kernel),
-    ]
+    return _measure(_scoreboard_specs(kernel))
 
 
 def regfile_ablation(kernel: str = "matrixMul") -> List[AblationPoint]:
     """Register file bank-count sweep (power-side sensitivity)."""
-    points = []
-    for banks in (8, 16, 32):
-        cfg = gt240().scaled(regfile_banks=banks)
-        points.append(AblationPoint.measure(f"{banks} RF banks", cfg, kernel))
-    return points
+    return _measure(_regfile_specs(kernel))
 
 
 def coalescing_ablation(kernel: str = "hotspot") -> List[AblationPoint]:
     """Coalescing on vs. off for a partially-coalesced stencil."""
-    return [
-        AblationPoint.measure("coalescing on", gt240(), kernel),
-        AblationPoint.measure("coalescing off",
-                              gt240().scaled(coalescing_enabled=False),
-                              kernel),
-    ]
+    return _measure(_coalescing_specs(kernel))
 
 
 def scheduler_ablation(kernel: str = "matrixMul") -> List[AblationPoint]:
     """Warp scheduling policy sweep (the paper's §VI future-work list
     names two-level scheduling as a candidate for power evaluation)."""
-    points = []
-    for policy in ("rr", "gto", "two_level"):
-        cfg = gt240().scaled(warp_scheduler=policy)
-        points.append(AblationPoint.measure(f"scheduler {policy}", cfg,
-                                            kernel))
-    return points
+    return _measure(_scheduler_specs(kernel))
 
 
 def warp_size_ablation(kernel: str = "BlackScholes") -> List[AblationPoint]:
     """Warp size sweep (divergence and frontend-rate effects)."""
-    points = []
-    for warp in (16, 32, 64):
-        cfg = gt240().scaled(warp_size=warp)
-        points.append(AblationPoint.measure(f"warp {warp}", cfg, kernel))
-    return points
+    return _measure(_warp_size_specs(kernel))
 
 
 @dataclass
@@ -120,16 +139,29 @@ def node_scaling() -> List[NodeScalingPoint]:
     return points
 
 
-def run() -> Dict[str, list]:
-    """Run every ablation; returns a dict of result lists."""
-    return {
-        "scoreboard": scoreboard_ablation(),
-        "scheduler": scheduler_ablation(),
-        "regfile_banks": regfile_ablation(),
-        "coalescing": coalescing_ablation(),
-        "warp_size": warp_size_ablation(),
-        "node_scaling": node_scaling(),
-    }
+def run(jobs=None, cache=AUTO) -> Dict[str, list]:
+    """Run every ablation; returns a dict of result lists.
+
+    All simulation-backed ablations are gathered into a single runner
+    fan-out so ``--jobs N`` parallelises across the whole sweep, not
+    just within one study.
+    """
+    groups = [
+        ("scoreboard", _scoreboard_specs()),
+        ("scheduler", _scheduler_specs()),
+        ("regfile_banks", _regfile_specs()),
+        ("coalescing", _coalescing_specs()),
+        ("warp_size", _warp_size_specs()),
+    ]
+    specs = [spec for _, group in groups for spec in group]
+    points = _measure(specs, jobs=jobs, cache=cache)
+    results: Dict[str, list] = {}
+    offset = 0
+    for name, group in groups:
+        results[name] = points[offset:offset + len(group)]
+        offset += len(group)
+    results["node_scaling"] = node_scaling()
+    return results
 
 
 def format_table(results: Dict[str, list]) -> str:

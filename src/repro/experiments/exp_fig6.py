@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.validation import SuiteValidation, validate_suite
+from ..runner import AUTO
 from ..sim.config import gt240, gtx580
 
 #: Paper-reported statistics for comparison.
@@ -36,13 +37,16 @@ class Fig6Result:
 
 
 def run(kernel_names: Optional[List[str]] = None,
-        seed: int = 17) -> Fig6Result:
+        seed: int = 17,
+        jobs: Optional[int] = None,
+        cache=AUTO) -> Fig6Result:
     """Run the full Fig. 6 evaluation on both GPUs."""
     suites = {}
     for config in (gt240(), gtx580()):
         suites[config.name] = validate_suite(config,
                                              kernel_names=kernel_names,
-                                             seed=seed)
+                                             seed=seed,
+                                             jobs=jobs, cache=cache)
     return Fig6Result(suites=suites)
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List
 
 from ..core.statmodel import (ModelEvaluation, StatisticalPowerModel,
                               evaluate_gpusimpow, evaluate_statistical)
+from ..runner import AUTO
 from ..sim.config import gt240, gtx580
 
 #: Training split.  Measured models need training data that spans the
@@ -47,18 +48,23 @@ class StatModelComparison:
     gpusimpow_gtx580: ModelEvaluation
 
 
-def run(seed: int = 41) -> StatModelComparison:
+def run(seed: int = 41, jobs=None, cache=AUTO) -> StatModelComparison:
     """Train the statistical model and score all four scenarios."""
-    model = StatisticalPowerModel.fit(gt240(), TRAIN_KERNELS, seed=seed)
+    model = StatisticalPowerModel.fit(gt240(), TRAIN_KERNELS, seed=seed,
+                                      jobs=jobs, cache=cache)
     return StatModelComparison(
         stat_heldout_gt240=evaluate_statistical(
-            model, gt240(), HELDOUT_KERNELS, seed=seed + 1),
+            model, gt240(), HELDOUT_KERNELS, seed=seed + 1,
+            jobs=jobs, cache=cache),
         stat_transfer_gtx580=evaluate_statistical(
-            model, gtx580(), HELDOUT_KERNELS, seed=seed + 2),
+            model, gtx580(), HELDOUT_KERNELS, seed=seed + 2,
+            jobs=jobs, cache=cache),
         gpusimpow_gt240=evaluate_gpusimpow(
-            gt240(), HELDOUT_KERNELS, seed=seed + 1),
+            gt240(), HELDOUT_KERNELS, seed=seed + 1,
+            jobs=jobs, cache=cache),
         gpusimpow_gtx580=evaluate_gpusimpow(
-            gtx580(), HELDOUT_KERNELS, seed=seed + 2),
+            gtx580(), HELDOUT_KERNELS, seed=seed + 2,
+            jobs=jobs, cache=cache),
     )
 
 

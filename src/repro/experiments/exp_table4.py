@@ -15,8 +15,8 @@ from ..core.gpusimpow import GPUSimPow
 from ..hw.static_power import (static_power_by_extrapolation,
                                static_power_by_idle_ratio)
 from ..hw.virtual_gpu import UnsupportedByDriver
+from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import gt240, gtx580
-from ..sim.gpu import GPU
 from ..workloads import all_kernel_launches
 
 #: Published die areas of the physical chips (mm^2) -- the "Real" area
@@ -41,16 +41,22 @@ class Table4Row:
     real_area_mm2: float
 
 
-def run(seed: int = 29) -> Dict[str, Table4Row]:
+def run(seed: int = 29, jobs=None, cache=AUTO) -> Dict[str, Table4Row]:
     """Regenerate Table IV."""
     launches = all_kernel_launches()
     probe_launch = launches["BlackScholes"]
     rows: Dict[str, Table4Row] = {}
     gt240_ratio = None
-    for config in (gt240(), gtx580()):
+    configs = (gt240(), gtx580())
+    # One probe simulation per card; both go through the runner so the
+    # (identical) activity is cached across exp_table4 / exp_fig6 runs.
+    probes = run_jobs([SimJob(config=c, kernel="BlackScholes",
+                              launch=probe_launch) for c in configs],
+                      n_jobs=jobs, cache=cache)
+    for config, probe in zip(configs, probes):
         sim = GPUSimPow(config)
         arch = sim.architecture()
-        activity = GPU(config).run(probe_launch).activity
+        activity = probe.activity
         try:
             hw_static, p1, _ = static_power_by_extrapolation(
                 config, activity, seed=seed)

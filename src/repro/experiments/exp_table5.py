@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from ..core.gpusimpow import GPUSimPow
+from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import gt240
 from ..workloads import all_kernel_launches
 
@@ -46,11 +47,14 @@ class Table5:
     kernel: str = "BlackScholes"
 
 
-def run(benchmark: str = "BlackScholes") -> Table5:
+def run(benchmark: str = "BlackScholes", jobs=None, cache=AUTO) -> Table5:
     """Regenerate Table V for ``benchmark`` on the GT240."""
     config = gt240()
     sim = GPUSimPow(config)
-    result = sim.run(all_kernel_launches()[benchmark])
+    launch = all_kernel_launches()[benchmark]
+    job, = run_jobs([SimJob(config=config, kernel=benchmark, launch=launch)],
+                    n_jobs=jobs, cache=cache)
+    result = sim.run(launch, activity=job.activity)
     gpu = result.power.gpu
     cores = gpu.child("Cores")
 

@@ -166,11 +166,20 @@ class Instruction:
             self.mem_space = {"LDG": "global", "STG": "global",
                               "LDS": "shared", "STS": "shared",
                               "LDC": "const", "LDT": "texture"}[self.op]
+        # The issue scheduler reads .unit (and, under a scoreboard,
+        # .reads_regs/.writes_reg) on every scan of every warp; resolve
+        # them once instead of per lookup.  srcs/dst never change after
+        # construction.
+        self._unit = unit_class(self.op)
+        self._reads_regs = tuple(s.index for s in self.srcs
+                                 if isinstance(s, Reg))
+        self._writes_reg = self.dst.index if isinstance(self.dst, Reg) \
+            else None
 
     @property
     def unit(self) -> str:
         """Execution unit class (int/fp/sfu/mem/ctrl)."""
-        return unit_class(self.op)
+        return self._unit
 
     @property
     def is_load(self) -> bool:
@@ -187,14 +196,12 @@ class Instruction:
     @property
     def reads_regs(self) -> Tuple[int, ...]:
         """Indices of general registers read by this instruction."""
-        return tuple(s.index for s in self.srcs if isinstance(s, Reg))
+        return self._reads_regs
 
     @property
     def writes_reg(self) -> Optional[int]:
         """Index of the general register written, if any."""
-        if isinstance(self.dst, Reg):
-            return self.dst.index
-        return None
+        return self._writes_reg
 
     def __repr__(self) -> str:
         parts = [self.op]

@@ -1,0 +1,37 @@
+"""Parallel simulation runner with content-addressed result caching.
+
+Every paper artifact fans out over (GPU config x kernel) pairs; this
+package executes those fan-outs on a process pool and memoises the
+deterministic results on disk:
+
+* :mod:`repro.runner.job` -- picklable :class:`SimJob` descriptors and
+  their :class:`JobResult`\\ s;
+* :mod:`repro.runner.engine` -- :func:`run_jobs`, the pool with a
+  serial fallback, deterministic result ordering and error/progress
+  surfacing;
+* :mod:`repro.runner.cache` -- :class:`ResultCache`, an on-disk store
+  keyed by a stable hash of (config, kernel IR, launch geometry,
+  initial-memory digest, :data:`repro.SIM_VERSION`).
+
+Quickstart::
+
+    from repro import SimJob, run_jobs, gt240, gtx580
+
+    jobs = [SimJob(config=cfg, kernel=k)
+            for cfg in (gt240(), gtx580())
+            for k in ("BlackScholes", "matrixMul")]
+    results = run_jobs(jobs, n_jobs=4, cache=None)
+    for r in results:
+        print(r.label, r.cycles, r.activity.issued_instructions)
+"""
+
+from .cache import ResultCache, config_signature, job_key, launch_signature
+from .engine import (AUTO, RunnerError, resolve_cache, resolve_jobs,
+                     run_jobs, set_default_cache, set_default_jobs)
+from .job import JobResult, SimJob
+
+__all__ = [
+    "AUTO", "JobResult", "ResultCache", "RunnerError", "SimJob",
+    "config_signature", "job_key", "launch_signature", "resolve_cache",
+    "resolve_jobs", "run_jobs", "set_default_cache", "set_default_jobs",
+]

@@ -1,0 +1,221 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every artifact in the reproduction fans out over (GPU config x kernel)
+pairs, and the same pairs recur across experiments -- Fig. 6, Tables
+IV/V, the statistical-model fit and the ablations all simulate
+BlackScholes on the GT240.  The cycle-level simulator is deterministic,
+so a simulation is a pure function of its inputs; this module addresses
+results by a stable hash of *all* of them:
+
+* the simulator version tag (:data:`repro.SIM_VERSION` -- bumped on any
+  semantics change, which invalidates every prior entry),
+* every :class:`GPUConfig` field,
+* the kernel IR (opcode/operand listing, register/predicate/smem
+  counts),
+* the launch geometry (grid, block, gmem size, repeat policy, params),
+* a digest of the initial memory image (globals_init + const_init),
+* the simulation watchdog (``max_cycles``).
+
+Anything that could change the resulting :class:`ActivityReport` is in
+the key, so a hit is always safe to reuse; anything else (cache
+location, process count) is deliberately not.
+
+Entries are single JSON files, written atomically, holding the activity
+counters and the cycle count.  JSON float round-trips are exact in
+Python (repr-based), so a cache hit is bit-identical to a fresh run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import fields
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..isa.launch import KernelLaunch
+from ..sim.activity import ActivityReport
+from ..sim.config import GPUConfig
+from .job import JobResult, SimJob
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _version_tag() -> str:
+    from .. import SIM_VERSION
+    return SIM_VERSION
+
+
+def _array_digest(arr) -> str:
+    """Stable digest of a numpy array's float64 contents."""
+    data = np.ascontiguousarray(arr, dtype=np.float64)
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+def config_signature(config: GPUConfig) -> Dict[str, Any]:
+    """Every config field, in stable (sorted) order."""
+    raw = dataclasses.asdict(config)
+    return {name: repr(raw[name]) for name in sorted(raw)}
+
+
+def launch_signature(launch: KernelLaunch) -> Dict[str, Any]:
+    """Kernel IR + geometry + initial-memory digest for one launch."""
+    kernel = launch.kernel
+    return {
+        "kernel": kernel.name,
+        "ir": [repr(inst) for inst in kernel.instructions],
+        "n_regs": kernel.n_regs,
+        "n_preds": kernel.n_preds,
+        "smem_words": kernel.smem_words,
+        "grid": (launch.grid.x, launch.grid.y, launch.grid.z),
+        "block": (launch.block.x, launch.block.y, launch.block.z),
+        "gmem_words": launch.gmem_words,
+        "params": {k: repr(v) for k, v in sorted(launch.params.items())},
+        "repeat": launch.repeat,
+        "repeatable": launch.repeatable,
+        "globals_init": {
+            str(off): _array_digest(arr)
+            for off, arr in sorted(launch.globals_init.items())
+        },
+        "const_init": (None if launch.const_init is None
+                       else _array_digest(launch.const_init)),
+    }
+
+
+def job_key(job: SimJob) -> str:
+    """Content-addressed cache key (hex SHA-256) for one job."""
+    payload = {
+        "sim_version": _version_tag(),
+        "config": config_signature(job.config),
+        "launch": launch_signature(job.resolve_launch()),
+        "max_cycles": repr(job.max_cycles),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _report_from_dict(data: Dict[str, float]) -> ActivityReport:
+    """Rebuild an ActivityReport, rejecting unknown/stale counters."""
+    known = {f.name for f in fields(ActivityReport)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown activity counters: {sorted(unknown)}")
+    report = ActivityReport()
+    for name, value in data.items():
+        current = getattr(report, name)
+        setattr(report, name,
+                int(value) if isinstance(current, int) else float(value))
+    return report
+
+
+class ResultCache:
+    """On-disk result store keyed by :func:`job_key`.
+
+    The default location is ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/gpusimpow``; entries shard into two-character
+    subdirectories.  Invalidation rules:
+
+    * a :data:`repro.SIM_VERSION` bump changes every key (and entries
+      written under an older tag refuse to load even on a key
+      collision);
+    * :meth:`invalidate` drops one entry, :meth:`clear` drops all;
+    * corrupt or unreadable entries degrade to misses, never to errors.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or \
+                os.path.join("~", ".cache", "gpusimpow")
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup/store --------------------------------------------------------
+
+    def get(self, job: SimJob, key: Optional[str] = None) -> Optional[JobResult]:
+        """Cached result for ``job``, or None on a miss."""
+        if key is None:
+            key = job_key(job)
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("sim_version") != _version_tag():
+                raise ValueError("stale simulator version")
+            activity = _report_from_dict(entry["activity"])
+            cycles = float(entry["cycles"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return JobResult(job=job, activity=activity, cycles=cycles,
+                         cached=True)
+
+    def put(self, job: SimJob, activity: ActivityReport, cycles: float,
+            key: Optional[str] = None) -> str:
+        """Store one result; returns its key.  Writes are atomic."""
+        if key is None:
+            key = job_key(job)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "sim_version": _version_tag(),
+            "kernel": job.label,
+            "gpu": job.config.name,
+            "cycles": float(cycles),
+            "activity": activity.as_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self.stores += 1
+        return key
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entries(self) -> int:
+        """Number of stored results."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,217 @@
+"""The parallel simulation job engine.
+
+:func:`run_jobs` executes a list of :class:`SimJob` descriptors and
+returns their :class:`JobResult`\\ s *in job order*, regardless of how
+many worker processes ran them or which finished first.  Cache hits are
+resolved in the calling process; only misses fan out to the pool, and
+the pool is skipped entirely for a single job or ``jobs=1`` (the serial
+fallback -- no multiprocessing machinery in the way of debugging or
+profiling).
+
+Workers receive only the picklable :class:`SimJob` and construct the
+``GPU`` themselves; they ship back plain counter dicts.  Both transports
+(pickle for the pipe, repr-JSON for the cache) round-trip float64
+exactly, so serial, pooled and cached execution are bit-identical.
+
+Defaults can be configured process-wide (used by the CLI and by
+``python -m repro.experiments``) or via environment variables:
+
+* ``REPRO_JOBS`` -- default worker count when a call passes ``None``;
+* ``REPRO_CACHE`` -- ``1``/``on`` enables the default on-disk cache,
+  ``0``/``off`` disables it, any other value is a cache directory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Callable, List, Optional, Sequence, Union
+
+from .cache import ResultCache, job_key
+from .job import JobResult, SimJob
+
+#: Sentinel: "resolve the cache from configured/environment defaults".
+AUTO = "auto"
+
+ProgressFn = Callable[[int, int, JobResult], None]
+
+_default_jobs: Optional[int] = None
+_default_cache: Union[ResultCache, None, str] = AUTO
+
+
+class RunnerError(RuntimeError):
+    """One or more jobs failed; carries every failure, not just the first."""
+
+    def __init__(self, failures: List[tuple]) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} simulation job(s) failed:"]
+        for label, tb in failures:
+            last = tb.strip().splitlines()[-1] if tb else "unknown error"
+            lines.append(f"  {label}: {last}")
+        lines.append("(first traceback)")
+        lines.append(failures[0][1])
+        super().__init__("\n".join(lines))
+
+
+# -- process-wide defaults -----------------------------------------------------
+
+
+def set_default_jobs(n: Optional[int]) -> None:
+    """Set the worker count used when ``run_jobs(jobs=None)``."""
+    global _default_jobs
+    _default_jobs = None if n is None else max(1, int(n))
+
+
+def set_default_cache(cache: Union[ResultCache, None, str]) -> None:
+    """Set the cache used when ``run_jobs(cache=AUTO)``.
+
+    Pass a :class:`ResultCache`, ``None`` to disable caching, or
+    :data:`AUTO` to fall back to the environment.
+    """
+    global _default_cache
+    _default_cache = cache
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count: explicit arg > configured > env > 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def resolve_cache(cache: Union[ResultCache, None, str]) -> Optional[ResultCache]:
+    """Effective cache: explicit arg > configured > env > disabled."""
+    if isinstance(cache, ResultCache) or cache is None:
+        return cache
+    if cache != AUTO:
+        return ResultCache(cache)  # a directory path
+    if _default_cache is not AUTO:
+        return resolve_cache(_default_cache)
+    env = os.environ.get("REPRO_CACHE", "").strip()
+    if not env or env.lower() in ("0", "off", "false", "no"):
+        return None
+    if env.lower() in ("1", "on", "true", "yes"):
+        return ResultCache()
+    return ResultCache(env)
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _execute_job(payload):
+    """Pool worker: run one job, ship back plain data (never raises)."""
+    index, job = payload
+    start = time.perf_counter()
+    try:
+        out = job.execute()
+        return (index, out.activity.as_dict(), float(out.cycles),
+                time.perf_counter() - start, os.getpid(), None)
+    except Exception:  # noqa: BLE001 -- surfaced via RunnerError
+        return (index, None, 0.0, time.perf_counter() - start,
+                os.getpid(), traceback.format_exc())
+
+
+def _pool_context():
+    """Fork where available (cheap, Linux); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def run_jobs(jobs: Sequence[SimJob],
+             n_jobs: Optional[int] = None,
+             cache: Union[ResultCache, None, str] = AUTO,
+             progress: Optional[ProgressFn] = None) -> List[JobResult]:
+    """Execute ``jobs``; results come back in job order.
+
+    Args:
+        jobs: The simulations to run.
+        n_jobs: Worker processes.  ``None`` resolves through
+            :func:`resolve_jobs`; ``1`` runs serially in-process.
+        cache: A :class:`ResultCache`, a cache directory path, ``None``
+            (disabled), or :data:`AUTO` (configured/environment
+            default).  Hits skip simulation; misses are stored after.
+        progress: Optional callback ``(done, total, result)`` invoked as
+            each job completes (completion order, not job order).
+
+    Raises:
+        RunnerError: aggregating every failed job's traceback.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    workers = resolve_jobs(n_jobs)
+    store = resolve_cache(cache)
+
+    total = len(jobs)
+    done = 0
+    results: List[Optional[JobResult]] = [None] * total
+    keys: List[Optional[str]] = [None] * total
+    misses: List[int] = []
+
+    def finish(index: int, result: JobResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    # Resolve cache hits up front, in the calling process.
+    for i, job in enumerate(jobs):
+        if store is not None:
+            keys[i] = job_key(job)
+            hit = store.get(job, key=keys[i])
+            if hit is not None:
+                finish(i, hit)
+                continue
+        misses.append(i)
+
+    failures: List[tuple] = []
+
+    def record(index, act_dict, cycles, duration, pid, error) -> None:
+        job = jobs[index]
+        if error is not None:
+            failures.append((job.label, error))
+            return
+        from .cache import _report_from_dict
+        activity = _report_from_dict(act_dict)
+        if store is not None:
+            store.put(job, activity, cycles, key=keys[index])
+        finish(index, JobResult(job=job, activity=activity, cycles=cycles,
+                                cached=False, duration_s=duration,
+                                worker=pid))
+
+    workers = min(workers, len(misses)) if misses else 1
+    if workers <= 1:
+        # Serial fallback: run in-process (still through the same
+        # dict transport so all three paths are byte-identical).
+        for index in misses:
+            out = _execute_job((index, jobs[index]))
+            record(*out[:4], -1, out[5])
+            if out[5] is not None:
+                # Serial semantics: fail fast, like a plain loop would.
+                raise RunnerError(failures)
+    else:
+        ctx = _pool_context()
+        payloads = [(i, jobs[i]) for i in misses]
+        with ctx.Pool(processes=workers) as pool:
+            for out in pool.imap_unordered(_execute_job, payloads):
+                record(*out)
+        if failures:
+            raise RunnerError(failures)
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,99 @@
+"""Simulation job descriptors.
+
+A :class:`SimJob` is everything needed to reproduce one
+``GPU(config).run(launch)`` call, packaged so it can cross a process
+boundary: a plain :class:`~repro.sim.config.GPUConfig` (a dataclass of
+primitives) plus either a workload label resolved worker-side or an
+explicit :class:`~repro.isa.launch.KernelLaunch` (dataclasses + numpy
+arrays, both picklable).  The heavyweight, stateful :class:`GPU` object
+is always constructed *inside* the worker, so nothing unpicklable ever
+crosses the pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa.launch import KernelLaunch
+from ..sim.activity import ActivityReport
+from ..sim.config import GPUConfig
+
+
+@dataclass
+class SimJob:
+    """One simulation to run: a GPU configuration plus a kernel launch.
+
+    Attributes:
+        config: The architecture to simulate.
+        kernel: Workload label from Table I (``repro.workloads``); used
+            to resolve the launch worker-side when ``launch`` is None,
+            and as the display label.
+        launch: Explicit launch descriptor; takes precedence over
+            ``kernel`` for execution (both may be set -- ``kernel`` then
+            only labels the job).
+        max_cycles: Simulation watchdog, forwarded to :meth:`GPU.run`.
+        tag: Optional display label overriding the derived one.
+    """
+
+    config: GPUConfig
+    kernel: Optional[str] = None
+    launch: Optional[KernelLaunch] = None
+    max_cycles: float = 5e8
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kernel is None and self.launch is None:
+            raise ValueError("SimJob needs a kernel label or a launch")
+
+    @property
+    def label(self) -> str:
+        """Human-readable job name for progress/error surfacing."""
+        if self.tag:
+            return self.tag
+        name = self.kernel or (self.launch.kernel.name if self.launch
+                               else "?")
+        return f"{name}@{self.config.name}"
+
+    def resolve_launch(self) -> KernelLaunch:
+        """The launch to execute (resolving workload labels if needed).
+
+        Workload labels resolve through :func:`all_kernel_launches`,
+        which builds launches from a fixed seed -- so a label names the
+        same launch (and the same cache key) in every process.
+        """
+        if self.launch is not None:
+            return self.launch
+        from ..workloads import all_kernel_launches
+        launches = all_kernel_launches()
+        if self.kernel not in launches:
+            raise KeyError(f"unknown workload kernel {self.kernel!r}")
+        return launches[self.kernel]
+
+    def execute(self):
+        """Run the job in this process; returns a ``SimulationOutput``."""
+        from ..sim.gpu import GPU
+        return GPU(self.config).run(self.resolve_launch(),
+                                    max_cycles=self.max_cycles)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :class:`SimJob`.
+
+    Carries the activity report and cycle count (everything the power
+    model and the experiment drivers consume) -- not the final memory
+    image, which stays worker-side so results are cheap to ship and to
+    cache.
+    """
+
+    job: SimJob
+    activity: ActivityReport
+    cycles: float
+    cached: bool = False
+    duration_s: float = 0.0
+    worker: int = -1  # -1: ran in the calling process
+
+    @property
+    def label(self) -> str:
+        return self.job.label

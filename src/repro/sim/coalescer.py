@@ -49,15 +49,16 @@ class Coalescer:
         if not self.config.coalescing_enabled:
             # Ablation mode: every distinct address becomes its own
             # 32-byte transaction (pre-coalescing GPU behaviour).
-            distinct = np.unique(byte_addresses // 32)
-            self.prt_writes += len(distinct)
-            self.transactions += len(distinct)
-            return [(int(a) * 32, 32) for a in distinct]
-        segments = np.unique(byte_addresses // self.segment_bytes)
-        self.prt_writes += len(segments)
-        self.transactions += len(segments)
-        return [(int(seg) * self.segment_bytes, self.segment_bytes)
-                for seg in segments]
+            size = 32
+        else:
+            size = self.segment_bytes
+        # Vectorised grouping: one unique + one multiply over the lane
+        # vector instead of a per-segment Python loop.
+        bases = np.unique(byte_addresses // size) * size
+        n = len(bases)
+        self.prt_writes += n
+        self.transactions += n
+        return [(base, size) for base in bases.tolist()]
 
     def efficiency(self) -> float:
         """Average addresses served per transaction (higher is better)."""

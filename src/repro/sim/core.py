@@ -266,41 +266,42 @@ class Core:
         has_sb = cfg.has_scoreboard
         if reasons is None:
             reasons = {}
-
-        def blocked(reason: str) -> None:
-            reasons[reason] = reasons.get(reason, 0) + 1
-
+        # Stall attribution is inlined (no closure) -- this scan runs
+        # for every warp on every stepped cycle and is the hottest loop
+        # in the simulator.
+        get = reasons.get
+        warps = self.warps
         for index in self._scan_order():
-            warp = self.warps[index]
+            warp = warps[index]
             if warp.done:
                 continue
             if warp.at_barrier:
-                blocked("barrier")
+                reasons["barrier"] = get("barrier", 0) + 1
                 continue
             if now < warp.blocked_until:
                 wake.append(warp.blocked_until)
-                blocked("dependency")
+                reasons["dependency"] = get("dependency", 0) + 1
                 continue
             if has_sb and not self.wcu.scoreboard.can_reserve(warp):
-                blocked("dependency")
+                reasons["dependency"] = get("dependency", 0) + 1
                 continue  # wake via writeback event
             inst = warp.kernel.instructions[warp.pc]
-            if has_sb and inst.unit != "ctrl":
+            unit = inst.unit
+            if has_sb and unit != "ctrl":
                 if self.wcu.scoreboard.has_hazard(
                         warp, inst.reads_regs, inst.writes_reg):
-                    blocked("dependency")
+                    reasons["dependency"] = get("dependency", 0) + 1
                     continue  # wake via writeback event
-            unit = inst.unit
             if unit in ("int", "fp", "sfu"):
                 if not self.exec_units.can_accept(unit, now):
                     wake.append(self.exec_units.groups[unit].free_at)
-                    blocked("unit_busy")
+                    reasons["unit_busy"] = get("unit_busy", 0) + 1
                     continue
             elif unit == "mem":
                 assert self.ldst is not None
                 if not self.ldst.can_accept(now):
                     wake.append(self.ldst.busy_until)
-                    blocked("ldst_busy")
+                    reasons["ldst_busy"] = get("ldst_busy", 0) + 1
                     continue
             self._issue(warp, inst, now)
             self._note_issued(index)

@@ -107,7 +107,7 @@ _CMP: Dict[str, Callable] = {
 class WarpContext:
     """Register/predicate state plus special values for one warp."""
 
-    __slots__ = ("regs", "preds", "specials", "warp_size")
+    __slots__ = ("regs", "preds", "specials", "warp_size", "_imm_cache")
 
     def __init__(self, n_regs: int, n_preds: int,
                  specials: Dict[str, np.ndarray], warp_size: int) -> None:
@@ -115,13 +115,24 @@ class WarpContext:
         self.regs = np.zeros((n_regs, warp_size), dtype=np.float64)
         self.preds = np.zeros((n_preds, warp_size), dtype=bool)
         self.specials = specials
+        # Broadcast immediates are reused constantly inside loops; build
+        # each distinct value's lane vector once.  The cached arrays are
+        # read-only so aliasing bugs fail loudly instead of corrupting
+        # unrelated instructions.
+        self._imm_cache: Dict[float, np.ndarray] = {}
 
     def read(self, operand, mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Lane vector of an operand's value."""
         if isinstance(operand, Reg):
             return self.regs[operand.index]
         if isinstance(operand, Imm):
-            return np.full(self.warp_size, operand.value, dtype=np.float64)
+            vec = self._imm_cache.get(operand.value)
+            if vec is None:
+                vec = np.full(self.warp_size, operand.value,
+                              dtype=np.float64)
+                vec.setflags(write=False)
+                self._imm_cache[operand.value] = vec
+            return vec
         if isinstance(operand, Sreg):
             return self.specials[operand.name]
         raise TypeError(f"cannot read {operand!r}")
@@ -138,13 +149,17 @@ class WarpContext:
 def execute_alu(inst: Instruction, ctx: WarpContext, mask: np.ndarray) -> None:
     """Execute an INT/FP/SFU/SETP/SELP instruction in the masked lanes."""
     op = inst.op
+    full = bool(mask.all())  # fully active warps skip fancy indexing
     if op.startswith("SETP.") or op.startswith("FSETP."):
         cmp = op.split(".", 1)[1]
         a = ctx.read(inst.srcs[0])
         b = ctx.read(inst.srcs[1])
         result = _CMP[cmp](a, b)
         assert isinstance(inst.dst, Pred)
-        ctx.preds[inst.dst.index][mask] = result[mask]
+        if full:
+            ctx.preds[inst.dst.index][...] = result
+        else:
+            ctx.preds[inst.dst.index][mask] = result[mask]
         return
     if op == "SELP":
         a = ctx.read(inst.srcs[0])
@@ -164,7 +179,10 @@ def execute_alu(inst: Instruction, ctx: WarpContext, mask: np.ndarray) -> None:
     else:
         raise ValueError(f"not an ALU op: {op}")
     assert isinstance(inst.dst, Reg)
-    ctx.regs[inst.dst.index][mask] = result[mask]
+    if full:
+        ctx.regs[inst.dst.index][...] = result
+    else:
+        ctx.regs[inst.dst.index][mask] = result[mask]
 
 
 def branch_taken_mask(inst: Instruction, ctx: WarpContext,
@@ -181,5 +199,7 @@ def memory_addresses(inst: Instruction, ctx: WarpContext,
                      mask: np.ndarray) -> np.ndarray:
     """Word addresses of the masked lanes for a memory instruction."""
     base = ctx.read(inst.srcs[0])
-    addrs = base.astype(np.int64) + inst.offset
-    return addrs[mask]
+    # Mask first: the int64 conversion is per-lane, so converting only
+    # the participating lanes yields bit-identical addresses for less
+    # work (most memory ops run under a partial guard or divergence).
+    return base[mask].astype(np.int64) + inst.offset

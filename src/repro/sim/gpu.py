@@ -248,10 +248,17 @@ def simulate_sequence(config: GPUConfig,
         return []
     words = max(l.gmem_words for l in launches)
     gmem = np.zeros(words, dtype=np.float64)
-    first = launches[0]
-    gmem[:first.gmem_words] = first.build_global_memory()
     outputs = []
+    # High-water mark of memory words already materialised.  Each
+    # launch's initial image is applied only *beyond* that mark: words
+    # below it belong to predecessors' live output and must not be
+    # clobbered, words above it are fresh input this launch declares.
+    seen = 0
     for launch in launches:
+        if launch.gmem_words > seen:
+            image = launch.build_global_memory()
+            gmem[seen:launch.gmem_words] = image[seen:launch.gmem_words]
+            seen = launch.gmem_words
         outputs.append(GPU(config).run(launch, max_cycles=max_cycles,
                                        gmem=gmem))
     return outputs

@@ -14,6 +14,12 @@ from repro.sim import GPU, gt240, gtx580
 from repro.workloads import all_kernel_launches
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep runner cache writes (e.g. from CLI tests) out of ~/.cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "gpusimpow_cache"))
+
+
 @pytest.fixture(scope="session")
 def gt240_config():
     return gt240()
