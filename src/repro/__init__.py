@@ -21,6 +21,7 @@ Package map:
 * :mod:`repro.workloads` -- the 19 evaluation kernels of Table I
 * :mod:`repro.core` -- the GPUSimPow facade and validation harness
 * :mod:`repro.runner` -- parallel simulation jobs + on-disk result cache
+* :mod:`repro.telemetry` -- windowed activity sampling + power traces
 * :mod:`repro.experiments` -- per-table/figure reproduction drivers
 """
 
@@ -41,12 +42,17 @@ from .power.chip import Chip
 from .power.result import PowerNode, PowerReport
 from .runner import JobResult, ResultCache, SimJob, run_jobs
 from .sim.config import GPUConfig, gt240, gtx580, preset
+from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
+                        NullSink, PowerSample, PowerTrace, TraceSink,
+                        sum_windows)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",
     "SimJob", "JobResult", "ResultCache", "run_jobs", "SIM_VERSION",
+    "ActivityTracer", "ActivityWindow", "TraceSink", "NullSink",
+    "CollectingSink", "PowerSample", "PowerTrace", "sum_windows",
 ]

@@ -97,9 +97,12 @@ def _cmd_run(args) -> int:
     sim = GPUSimPow(config)
     jobs, cache, progress = _runner_options(args)
     job, = run_jobs([SimJob(config=config, kernel=args.kernel,
-                            launch=launches[args.kernel])],
+                            launch=launches[args.kernel],
+                            trace_interval=args.trace_interval)],
                     n_jobs=jobs, cache=cache, progress=progress)
-    result = sim.run(launches[args.kernel], activity=job.activity)
+    result = sim.run(launches[args.kernel], activity=job.activity,
+                     windows=job.windows,
+                     trace_interval=args.trace_interval)
     print(f"{args.kernel} on {config.name}:")
     print(f"  runtime:       {result.runtime_s * 1e6:10.2f} us "
           f"({result.performance.cycles:.0f} shader cycles, "
@@ -113,6 +116,21 @@ def _cmd_run(args) -> int:
         print()
         print(result.power.gpu.format())
         print(result.power.dram.format())
+    if result.trace is not None:
+        from .telemetry import render_trace
+        print()
+        print(render_trace(result.trace))
+    if args.trace_out:
+        if result.trace is None:
+            print("--trace-out needs --trace-interval", file=sys.stderr)
+            return 2
+        from .telemetry import write_chrome_trace, write_trace_json
+        if args.trace_format == "chrome":
+            write_chrome_trace(result.trace, args.trace_out)
+        else:
+            write_trace_json(result.trace, args.trace_out)
+        print(f"  power trace ({args.trace_format}) written to "
+              f"{args.trace_out}")
     if args.save_trace:
         with open(args.save_trace, "w", encoding="utf-8") as handle:
             handle.write(result.activity.to_json())
@@ -174,6 +192,34 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_experiments(args) -> int:
+    """Regenerate paper artifacts through the experiment registry."""
+    from .experiments import all_experiments
+    experiments = all_experiments()
+    if args.list:
+        width = max(len(n) for n in experiments)
+        for name, exp in experiments.items():
+            print(f"{name:<{width}s}  {exp.description}")
+        return 0
+    names = args.names or list(experiments)
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; "
+              f"have {sorted(experiments)}", file=sys.stderr)
+        return 2
+    from .runner import set_default_cache, set_default_jobs
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
+    set_default_cache(None if args.no_cache else ResultCache())
+    for name in names:
+        print(f"===== {name} =====")
+        written = experiments[name].run(out_dir=args.out_dir, echo=True)
+        for path in written:
+            print(f"[wrote {path}]")
+        print()
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from .core.validation import validate_suite
     names = args.kernels.split(",") if args.kernels else None
@@ -221,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full component power tree")
     p_run.add_argument("--save-trace", default=None, metavar="FILE",
                        help="save the activity trace as JSON")
+    p_run.add_argument("--trace-interval", type=float, default=None,
+                       metavar="CYCLES",
+                       help="sample a windowed power trace every N "
+                            "shader cycles")
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the power trace (needs "
+                            "--trace-interval)")
+    p_run.add_argument("--trace-format", choices=("json", "chrome"),
+                       default="json",
+                       help="power-trace file format: self-contained "
+                            "JSON or chrome://tracing events")
     _add_runner_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -240,6 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disassemble a workload kernel")
     p_dis.add_argument("kernel", help="kernel label (see `list`)")
     p_dis.set_defaults(func=_cmd_disasm)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate paper tables and figures")
+    p_exp.add_argument("names", nargs="*", metavar="experiment",
+                       help="subset to run (default: all)")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list registered experiments and exit")
+    p_exp.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="also write every artifact into DIR")
+    _add_runner_args(p_exp)
+    p_exp.set_defaults(func=_cmd_experiments)
 
     p_val = sub.add_parser("validate",
                            help="run the sim-vs-hardware comparison")

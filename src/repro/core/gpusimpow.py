@@ -7,15 +7,18 @@ area results.  This is the class downstream users interact with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from ..isa.launch import KernelLaunch
 from ..power.chip import Chip
 from ..power.result import PowerReport
+from ..serialize import Serializable
 from ..sim.activity import ActivityReport
 from ..sim.config import GPUConfig
 from ..sim.gpu import GPU, SimulationOutput
+from ..telemetry import (ActivityTracer, ActivityWindow, PowerTrace,
+                         TraceSink, windows_from_dicts, windows_to_dicts)
 
 
 @dataclass
@@ -29,13 +32,19 @@ class ArchitectureReport:
 
 
 @dataclass
-class SimulationResult:
-    """Everything GPUSimPow produces for one kernel execution."""
+class SimulationResult(Serializable):
+    """Everything GPUSimPow produces for one kernel execution.
+
+    ``trace`` is the windowed :class:`~repro.telemetry.PowerTrace` when
+    the run was traced (``trace_interval``/``sink`` passed, or replayed
+    with windows) and ``None`` otherwise.
+    """
 
     kernel_name: str
     config: GPUConfig
     performance: SimulationOutput
     power: PowerReport
+    trace: Optional[PowerTrace] = field(default=None, repr=False)
 
     @property
     def activity(self) -> ActivityReport:
@@ -76,6 +85,38 @@ class SimulationResult:
             "card_total_w": self.card_total_w,
         }
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable form (drops the memory image and launch IR)."""
+        data: Dict[str, Any] = {
+            "kernel": self.kernel_name,
+            "config": self.config.to_dict(),
+            "activity": self.activity.to_dict(),
+            "power": self.power.to_dict(),
+        }
+        if self.performance.windows is not None:
+            data["windows"] = windows_to_dicts(self.performance.windows)
+        if self.trace is not None:
+            data["trace"] = self.trace.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result whose performance side is a replay record."""
+        config = GPUConfig.from_dict(data["config"])
+        activity = ActivityReport.from_dict(data["activity"])
+        windows: Optional[List[ActivityWindow]] = None
+        if "windows" in data:
+            windows = windows_from_dicts(data["windows"])
+        return cls(
+            kernel_name=data["kernel"],
+            config=config,
+            performance=SimulationOutput.replay(config, None, activity,
+                                                windows=windows),
+            power=PowerReport.from_dict(data["power"]),
+            trace=(PowerTrace.from_dict(data["trace"])
+                   if "trace" in data else None),
+        )
+
 
 class GPUSimPow:
     """Coupled performance + power simulator for one GPU configuration."""
@@ -94,48 +135,83 @@ class GPUSimPow:
         )
 
     def run(self, launch: KernelLaunch,
-            activity: Optional[ActivityReport] = None) -> SimulationResult:
+            activity: Optional[ActivityReport] = None,
+            windows: Optional[List[ActivityWindow]] = None,
+            trace_interval: Optional[float] = None,
+            sink: Optional[TraceSink] = None) -> SimulationResult:
         """Simulate ``launch`` and evaluate its power.
 
         A pre-computed ``activity`` report may be supplied to re-evaluate
         power without re-running the performance simulation (e.g. for
-        power-model sweeps over the same workload).
+        power-model sweeps, or results from the parallel runner); its
+        timing -- including ``runtime_s`` -- is taken from the report
+        itself, never rederived.  Optional ``windows`` (e.g. off a traced
+        :class:`~repro.runner.JobResult`) yield a :class:`PowerTrace`
+        without re-simulating.
+
+        Args:
+            trace_interval: Telemetry window length in shader cycles;
+                when set (fresh simulations only), the result carries a
+                windowed power trace.
+            sink: Optional :class:`~repro.telemetry.TraceSink` receiving
+                windows as they are cut (implies tracing, with a
+                1000-cycle default interval).
         """
+        tracer = None
         if activity is None:
-            perf = GPU(self.config).run(launch)
+            if trace_interval is not None or sink is not None:
+                tracer = ActivityTracer(trace_interval or 1000.0, sink=sink)
+            perf = GPU(self.config).run(launch, tracer=tracer)
             activity = perf.activity
         else:
-            perf = SimulationOutput(
-                config=self.config, launch=launch, activity=activity,
-                gmem=launch.build_global_memory(),
-                cycles=activity.shader_cycles,
-            )
+            perf = SimulationOutput.replay(self.config, launch, activity,
+                                           windows=windows)
         power = self.chip.evaluate(activity)
+        trace = None
+        if perf.windows:
+            interval = (tracer.interval_cycles if tracer is not None
+                        else trace_interval or perf.windows[0].end_cycles)
+            trace = PowerTrace.from_windows(
+                self.config, launch.kernel.name, perf.windows, interval,
+                chip=self.chip)
         return SimulationResult(
             kernel_name=launch.kernel.name,
             config=self.config,
             performance=perf,
             power=power,
+            trace=trace,
         )
 
-    def run_benchmark(self, name: str) -> "BenchmarkResult":
+    def run_benchmark(self, name: str,
+                      trace_interval: Optional[float] = None,
+                      sink: Optional[TraceSink] = None) -> "BenchmarkResult":
         """Run all kernels of a Table I benchmark as a dependent chain.
 
         Kernels execute on a shared global-memory image (the way the
         real multi-kernel benchmarks run); each kernel gets its own
-        power evaluation, and the totals aggregate the whole benchmark.
+        power evaluation -- and its own power trace when
+        ``trace_interval`` is set -- and the totals aggregate the whole
+        benchmark.
         """
         from ..sim.gpu import simulate_sequence
         from ..workloads import build_benchmark
         launches = build_benchmark(name)
-        outputs = simulate_sequence(self.config, launches)
+        outputs = simulate_sequence(self.config, launches,
+                                    trace_interval=trace_interval,
+                                    sink=sink)
         results = []
         for launch, perf in zip(launches, outputs):
+            trace = None
+            if perf.windows:
+                trace = PowerTrace.from_windows(
+                    self.config, launch.kernel.name, perf.windows,
+                    trace_interval or 1000.0, chip=self.chip)
             results.append(SimulationResult(
                 kernel_name=launch.kernel.name,
                 config=self.config,
                 performance=perf,
                 power=self.chip.evaluate(perf.activity),
+                trace=trace,
             ))
         return BenchmarkResult(benchmark=name, kernels=results)
 

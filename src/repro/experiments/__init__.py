@@ -1,16 +1,29 @@
 """Experiment drivers: one module per paper table/figure, plus ablations.
 
-Each module exposes ``run()`` (structured results), ``format_table()``
-(human-readable rendering) and a ``main()`` entry point, so every
-artifact can be regenerated with e.g.::
+Every driver registers an :class:`~repro.experiments.base.Experiment`
+(``EXPERIMENT``) with the registry in :mod:`repro.experiments.base`,
+giving all of them one uniform entry point::
 
-    python -m repro.experiments.exp_table4
+    from repro.experiments import get_experiment
+    get_experiment("table4").run(jobs=4, out_dir="out/")
+
+The modules also keep ``run()`` (structured results) and
+``format_table()`` (human-readable rendering) as their programmatic
+API, so every artifact can still be regenerated with e.g.::
+
+    python -m repro.experiments table4
+
+The per-module ``main()`` entry points are deprecated aliases for
+``EXPERIMENT.run(echo=True)``.
 """
 
+from .base import (Experiment, all_experiments, experiment_names,
+                   get_experiment, register)
 from . import (exp_ablations, exp_divergence, exp_fig4, exp_fig6,
-               exp_microbench, exp_statmodel, exp_table1, exp_table2,
-               exp_table3, exp_table4, exp_table5)
+               exp_microbench, exp_powertrace, exp_statmodel, exp_table1,
+               exp_table2, exp_table3, exp_table4, exp_table5)
 
+#: Name -> driver module (the registry holds name -> Experiment).
 ALL_EXPERIMENTS = {
     "table1": exp_table1,
     "table2": exp_table2,
@@ -23,9 +36,12 @@ ALL_EXPERIMENTS = {
     "statmodel": exp_statmodel,
     "divergence": exp_divergence,
     "ablations": exp_ablations,
+    "powertrace": exp_powertrace,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [f"exp_{k}" for k in
-                                 ("ablations", "divergence", "fig4", "fig6",
-                                  "microbench", "statmodel", "table1",
-                                  "table2", "table3", "table4", "table5")]
+__all__ = ["ALL_EXPERIMENTS", "Experiment", "all_experiments",
+           "experiment_names", "get_experiment", "register"] + \
+    [f"exp_{k}" for k in
+     ("ablations", "divergence", "fig4", "fig6", "microbench",
+      "powertrace", "statmodel", "table1", "table2", "table3",
+      "table4", "table5")]

@@ -24,6 +24,8 @@ from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import GPUConfig, gt240
 from ..workloads import all_kernel_launches
 
+from . import base
+
 
 @dataclass
 class AblationPoint:
@@ -183,10 +185,16 @@ def format_table(results: Dict[str, list]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="ablations",
+    description="Ablation studies over the power model's design choices",
+    compute=run,
+    render=format_table,
+    uses_runner=True,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -29,6 +29,8 @@ from ..core.gpusimpow import GPUSimPow
 from ..isa import Dim3, KernelBuilder, KernelLaunch, Sreg
 from ..sim.config import gt240
 
+from . import base
+
 N = 4096
 BLOCK = 128
 REPEATS = 24     # polynomial steps per variant arm
@@ -179,10 +181,15 @@ def format_table(points: List[DivergencePoint]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="divergence",
+    description="Section V-B branch-divergence power analysis",
+    compute=run,
+    render=format_table,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -19,6 +19,8 @@ from ..hw.microbench import run_cluster_staircase
 from ..hw.virtual_gpu import VirtualGPU
 from ..sim.config import GPUConfig, gt240
 
+from . import base
+
 #: Paper values read from Fig. 4 / Section III-D.
 PAPER_CLUSTER_STEP_W = 0.692
 PAPER_SCHEDULER_W = 3.34
@@ -87,12 +89,19 @@ def format_chart(r: StaircaseResult) -> str:
     return fig4_chart(r.points, r.active_idle_w)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    result = run()
-    print(format_table(result))
-    print(format_chart(result))
+def _render(result) -> str:
+    return format_table(result) + "\n" + format_chart(result)
+
+
+EXPERIMENT = base.register(base.Experiment(
+    name="fig4",
+    description="Fig. 4: power vs. thread-block count on the GT240",
+    compute=run,
+    render=_render,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

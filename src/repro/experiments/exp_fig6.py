@@ -17,6 +17,8 @@ from ..core.validation import SuiteValidation, validate_suite
 from ..runner import AUTO
 from ..sim.config import gt240, gtx580
 
+from . import base
+
 #: Paper-reported statistics for comparison.
 PAPER_STATS = {
     "GT240": {"avg_rel_error": 0.117, "avg_dynamic_error": 0.283,
@@ -95,12 +97,20 @@ def format_chart(result: Fig6Result) -> str:
     return "\n".join(parts)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    result = run()
-    print(format_table(result))
-    print(format_chart(result))
+def _render(result) -> str:
+    return format_table(result) + "\n" + format_chart(result)
+
+
+EXPERIMENT = base.register(base.Experiment(
+    name="fig6",
+    description="Fig. 6: measured vs. simulated power on both GPUs",
+    compute=run,
+    render=_render,
+    uses_runner=True,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

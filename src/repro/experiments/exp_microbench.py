@@ -15,6 +15,8 @@ from typing import Dict
 from ..hw.microbench import EnergyPerOpResult, derive_energy_per_op
 from ..sim.config import GPUConfig, gt240
 
+from . import base
+
 PAPER_INT_PJ = 40.0
 PAPER_FP_PJ = 75.0
 NVIDIA_REPORTED_FP_PJ = 50.0
@@ -55,10 +57,15 @@ def format_table(r: MicrobenchResult) -> str:
     ])
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="microbench",
+    description="Section III-D per-operation energy microbenchmarks",
+    compute=run,
+    render=format_table,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -26,6 +26,8 @@ from ..core.statmodel import (ModelEvaluation, StatisticalPowerModel,
 from ..runner import AUTO
 from ..sim.config import gt240, gtx580
 
+from . import base
+
 #: Training split.  Measured models need training data that spans the
 #: feature space (Hong & Kim use dedicated microbenchmarks for this), so
 #: the split covers SFU-heavy, FP-heavy, memory-bound, shared-memory and
@@ -92,10 +94,16 @@ def format_table(c: StatModelComparison) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="statmodel",
+    description="Section II: measured vs. architectural power models",
+    compute=run,
+    render=format_table,
+    uses_runner=True,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

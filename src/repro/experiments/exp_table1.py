@@ -12,6 +12,8 @@ from typing import Dict, List
 from ..workloads import (all_kernel_launches, benchmark_info,
                          benchmark_names, build_benchmark)
 
+from . import base
+
 #: The paper's Table I, for comparison in tests.
 PAPER_TABLE1 = {
     "backprop": (2, "Rodinia"),
@@ -58,10 +60,15 @@ def format_table(rows: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="table1",
+    description="Table I: overview of the GPGPU evaluation benchmarks",
+    compute=run,
+    render=format_table,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -10,6 +10,8 @@ from typing import Dict, List
 
 from ..sim.config import GPUConfig, gt240, gtx580
 
+from . import base
+
 #: The paper's Table II, for comparison in tests and reports.
 PAPER_TABLE2 = {
     "GT240": {"cores": 12, "threads_per_core": 768, "fus_per_core": 8,
@@ -54,10 +56,15 @@ def format_table(rows: Dict[str, Dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="table2",
+    description="Table II: key features of the evaluated GPU architectures",
+    compute=run,
+    render=format_table,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -17,6 +17,8 @@ import numpy
 
 import repro
 
+from . import base
+
 #: The paper's Table III, kept for reference.
 PAPER_TABLE3 = {
     "OS": ("Ubuntu 10.10", "Ubuntu 10.10"),
@@ -72,10 +74,15 @@ def format_table(rows: Dict[str, Dict[str, str]]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="table3",
+    description="Table III: summary of the experimental setup",
+    compute=run,
+    render=format_table,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -19,6 +19,8 @@ from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import gt240, gtx580
 from ..workloads import all_kernel_launches
 
+from . import base
+
 #: Published die areas of the physical chips (mm^2) -- the "Real" area
 #: rows of Table IV (GT215: 133 mm^2, GF110: 520 mm^2).
 REAL_AREA_MM2 = {"GT240": 133.0, "GTX580": 520.0}
@@ -91,10 +93,16 @@ def format_table(rows: Dict[str, Table4Row]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="table4",
+    description="Table IV: static power and area for GT240 and GTX580",
+    compute=run,
+    render=format_table,
+    uses_runner=True,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -17,6 +17,8 @@ from ..runner import AUTO, SimJob, run_jobs
 from ..sim.config import gt240
 from ..workloads import all_kernel_launches
 
+from . import base
+
 #: Paper's Table V (static W, dynamic W) for comparison.
 PAPER_GPU_LEVEL = {
     "Overall": (17.934, 19.207),
@@ -107,10 +109,16 @@ def format_table(t: Table5) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Regenerate and print this artifact."""
-    print(format_table(run()))
+EXPERIMENT = base.register(base.Experiment(
+    name="table5",
+    description="Table V: BlackScholes power breakdown on the GT240",
+    compute=run,
+    render=format_table,
+    uses_runner=True,
+))
+
+main = base.deprecated_main(EXPERIMENT)
 
 
 if __name__ == "__main__":
-    main()
+    EXPERIMENT.run(echo=True)

@@ -10,11 +10,13 @@ LDST unit / undifferentiated core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..serialize import Serializable
 
 
 @dataclass
-class PowerNode:
+class PowerNode(Serializable):
     """Power and area of one component, with sub-components.
 
     ``static_w`` is leakage (sub-threshold + gate); ``dynamic_w`` is
@@ -86,9 +88,32 @@ class PowerNode:
             lines.append(c.format(indent + 1))
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict rendering of the subtree."""
+        return {
+            "name": self.name,
+            "static_w": self.static_w,
+            "dynamic_w": self.dynamic_w,
+            "peak_dynamic_w": self.peak_dynamic_w,
+            "area_mm2": self.area_mm2,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PowerNode":
+        """Rebuild a node tree from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            static_w=float(data.get("static_w", 0.0)),
+            dynamic_w=float(data.get("dynamic_w", 0.0)),
+            peak_dynamic_w=float(data.get("peak_dynamic_w", 0.0)),
+            area_mm2=float(data.get("area_mm2", 0.0)),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
 
 @dataclass
-class PowerReport:
+class PowerReport(Serializable):
     """Complete output of one GPUSimPow power evaluation.
 
     Attributes:
@@ -126,3 +151,23 @@ class PowerReport:
 
     def format(self) -> str:
         return self.gpu.format() + "\n" + self.dram.format()
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering (component trees plus headline totals)."""
+        return {
+            "gpu": self.gpu.to_dict(),
+            "dram": self.dram.to_dict(),
+            "runtime_s": self.runtime_s,
+            "chip_total_w": self.chip_total_w,
+            "card_total_w": self.card_total_w,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerReport":
+        """Rebuild a report from :meth:`to_dict` output (headline totals
+        are recomputed from the trees, not trusted from the payload)."""
+        return cls(
+            gpu=PowerNode.from_dict(data["gpu"]),
+            dram=PowerNode.from_dict(data["dram"]),
+            runtime_s=float(data["runtime_s"]),
+        )

@@ -32,9 +32,8 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import fields
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -89,29 +88,28 @@ def launch_signature(launch: KernelLaunch) -> Dict[str, Any]:
 
 
 def job_key(job: SimJob) -> str:
-    """Content-addressed cache key (hex SHA-256) for one job."""
+    """Content-addressed cache key (hex SHA-256) for one job.
+
+    ``trace_interval`` enters the payload only when set, so untraced
+    jobs keep the exact keys (and cache entries) they had before
+    telemetry existed; a traced job is a distinct artifact because its
+    entry also stores the per-window deltas.
+    """
     payload = {
         "sim_version": _version_tag(),
         "config": config_signature(job.config),
         "launch": launch_signature(job.resolve_launch()),
         "max_cycles": repr(job.max_cycles),
     }
+    if job.trace_interval is not None:
+        payload["trace_interval"] = repr(float(job.trace_interval))
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def _report_from_dict(data: Dict[str, float]) -> ActivityReport:
     """Rebuild an ActivityReport, rejecting unknown/stale counters."""
-    known = {f.name for f in fields(ActivityReport)}
-    unknown = set(data) - known
-    if unknown:
-        raise ValueError(f"unknown activity counters: {sorted(unknown)}")
-    report = ActivityReport()
-    for name, value in data.items():
-        current = getattr(report, name)
-        setattr(report, name,
-                int(value) if isinstance(current, int) else float(value))
-    return report
+    return ActivityReport.from_dict(data)
 
 
 class ResultCache:
@@ -158,15 +156,23 @@ class ResultCache:
                 raise ValueError("stale simulator version")
             activity = _report_from_dict(entry["activity"])
             cycles = float(entry["cycles"])
+            windows = None
+            if job.trace_interval is not None:
+                # A traced job must come back with its windows; an entry
+                # without them (shouldn't exist, given the key includes
+                # the interval) degrades to a miss.
+                from ..telemetry import windows_from_dicts
+                windows = windows_from_dicts(entry["windows"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
         return JobResult(job=job, activity=activity, cycles=cycles,
-                         cached=True)
+                         cached=True, windows=windows)
 
     def put(self, job: SimJob, activity: ActivityReport, cycles: float,
-            key: Optional[str] = None) -> str:
+            key: Optional[str] = None,
+            windows: Optional[List] = None) -> str:
         """Store one result; returns its key.  Writes are atomic."""
         if key is None:
             key = job_key(job)
@@ -179,6 +185,9 @@ class ResultCache:
             "cycles": float(cycles),
             "activity": activity.as_dict(),
         }
+        if windows is not None:
+            from ..telemetry import windows_to_dicts
+            entry["windows"] = windows_to_dicts(windows)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:

@@ -109,15 +109,25 @@ def resolve_cache(cache: Union[ResultCache, None, str]) -> Optional[ResultCache]
 
 
 def _execute_job(payload):
-    """Pool worker: run one job, ship back plain data (never raises)."""
+    """Pool worker: run one job, ship back plain data (never raises).
+
+    The transport tuple is ``(index, activity_dict, windows_dicts,
+    cycles, duration, pid, error)`` -- ``windows_dicts`` is None for
+    untraced jobs and the :func:`~repro.telemetry.windows_to_dicts`
+    form for traced ones.
+    """
     index, job = payload
     start = time.perf_counter()
     try:
         out = job.execute()
-        return (index, out.activity.as_dict(), float(out.cycles),
+        windows = None
+        if out.windows is not None:
+            from ..telemetry import windows_to_dicts
+            windows = windows_to_dicts(out.windows)
+        return (index, out.activity.as_dict(), windows, float(out.cycles),
                 time.perf_counter() - start, os.getpid(), None)
     except Exception:  # noqa: BLE001 -- surfaced via RunnerError
-        return (index, None, 0.0, time.perf_counter() - start,
+        return (index, None, None, 0.0, time.perf_counter() - start,
                 os.getpid(), traceback.format_exc())
 
 
@@ -181,18 +191,24 @@ def run_jobs(jobs: Sequence[SimJob],
 
     failures: List[tuple] = []
 
-    def record(index, act_dict, cycles, duration, pid, error) -> None:
+    def record(index, act_dict, windows_dicts, cycles, duration, pid,
+               error) -> None:
         job = jobs[index]
         if error is not None:
             failures.append((job.label, error))
             return
         from .cache import _report_from_dict
         activity = _report_from_dict(act_dict)
+        windows = None
+        if windows_dicts is not None:
+            from ..telemetry import windows_from_dicts
+            windows = windows_from_dicts(windows_dicts)
         if store is not None:
-            store.put(job, activity, cycles, key=keys[index])
+            store.put(job, activity, cycles, key=keys[index],
+                      windows=windows)
         finish(index, JobResult(job=job, activity=activity, cycles=cycles,
                                 cached=False, duration_s=duration,
-                                worker=pid))
+                                worker=pid, windows=windows))
 
     workers = min(workers, len(misses)) if misses else 1
     if workers <= 1:
@@ -200,8 +216,8 @@ def run_jobs(jobs: Sequence[SimJob],
         # dict transport so all three paths are byte-identical).
         for index in misses:
             out = _execute_job((index, jobs[index]))
-            record(*out[:4], -1, out[5])
-            if out[5] is not None:
+            record(*out[:5], -1, out[6])
+            if out[6] is not None:
                 # Serial semantics: fail fast, like a plain loop would.
                 raise RunnerError(failures)
     else:

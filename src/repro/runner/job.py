@@ -13,11 +13,14 @@ crosses the pipe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..isa.launch import KernelLaunch
 from ..sim.activity import ActivityReport
 from ..sim.config import GPUConfig
+
+if TYPE_CHECKING:
+    from ..telemetry import ActivityWindow
 
 
 @dataclass
@@ -34,6 +37,9 @@ class SimJob:
             only labels the job).
         max_cycles: Simulation watchdog, forwarded to :meth:`GPU.run`.
         tag: Optional display label overriding the derived one.
+        trace_interval: Telemetry window length in shader cycles; when
+            set, the result carries per-window activity deltas (and the
+            interval becomes part of the cache key).
     """
 
     config: GPUConfig
@@ -41,10 +47,14 @@ class SimJob:
     launch: Optional[KernelLaunch] = None
     max_cycles: float = 5e8
     tag: str = ""
+    trace_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kernel is None and self.launch is None:
             raise ValueError("SimJob needs a kernel label or a launch")
+        if self.trace_interval is not None and not self.trace_interval > 0:
+            raise ValueError(
+                f"trace_interval must be positive, got {self.trace_interval!r}")
 
     @property
     def label(self) -> str:
@@ -73,8 +83,13 @@ class SimJob:
     def execute(self):
         """Run the job in this process; returns a ``SimulationOutput``."""
         from ..sim.gpu import GPU
+        tracer = None
+        if self.trace_interval is not None:
+            from ..telemetry import ActivityTracer
+            tracer = ActivityTracer(self.trace_interval)
         return GPU(self.config).run(self.resolve_launch(),
-                                    max_cycles=self.max_cycles)
+                                    max_cycles=self.max_cycles,
+                                    tracer=tracer)
 
 
 @dataclass
@@ -84,7 +99,8 @@ class JobResult:
     Carries the activity report and cycle count (everything the power
     model and the experiment drivers consume) -- not the final memory
     image, which stays worker-side so results are cheap to ship and to
-    cache.
+    cache.  ``windows`` holds the telemetry activity windows for traced
+    jobs (``trace_interval`` set) and is ``None`` otherwise.
     """
 
     job: SimJob
@@ -93,6 +109,8 @@ class JobResult:
     cached: bool = False
     duration_s: float = 0.0
     worker: int = -1  # -1: ran in the calling process
+    windows: Optional[List["ActivityWindow"]] = field(default=None,
+                                                      repr=False)
 
     @property
     def label(self) -> str:

@@ -14,13 +14,15 @@ one integer instruction.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field, fields
 from typing import Dict
 
+from ..serialize import (Serializable, scalar_fields_from_dict,
+                         scalar_fields_to_dict)
+
 
 @dataclass
-class ActivityReport:
+class ActivityReport(Serializable):
     """Access counts and utilization for one simulated kernel run."""
 
     # -- timing ---------------------------------------------------------------
@@ -135,38 +137,30 @@ class ActivityReport:
                 setattr(out, name, getattr(self, name) * factor)
         return out
 
-    def as_dict(self) -> Dict[str, float]:
-        """Plain dict of every counter (stable ordering)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-    def to_json(self) -> str:
-        """Serialise to JSON (the trace format of the Fig. 1 interface).
+    def to_dict(self, sparse: bool = False) -> Dict[str, float]:
+        """Plain dict of every counter (stable ordering).
 
         This is what flows between the performance simulator and the
-        power model; saving it lets the power model be re-run or swept
-        without re-simulating (the workflow GPGPU-Sim + McPAT users
-        know as trace reuse).
+        power model (the Fig. 1 interface); saving it lets the power
+        model be re-run or swept without re-simulating -- the workflow
+        GPGPU-Sim + McPAT users know as trace reuse.
+
+        Args:
+            sparse: Drop zero counters (compact per-window deltas).
         """
-        return json.dumps(self.as_dict(), indent=1, sort_keys=True)
+        return scalar_fields_to_dict(self, sparse=sparse)
+
+    #: Backwards-compatible alias for :meth:`to_dict`.
+    as_dict = to_dict
 
     @classmethod
-    def from_json(cls, text: str) -> "ActivityReport":
-        """Load a report serialised by :meth:`to_json`.
+    def from_dict(cls, data: Dict[str, float]) -> "ActivityReport":
+        """Rebuild a report from :meth:`to_dict` output.
 
-        Raises:
-            ValueError: on unknown counters (stale or foreign traces).
+        Missing counters keep their zero defaults (sparse payloads);
+        unknown counters raise ``ValueError`` (stale or foreign traces).
         """
-        data = json.loads(text)
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown activity counters: {sorted(unknown)}")
-        report = cls()
-        for name, value in data.items():
-            current = getattr(report, name)
-            setattr(report, name,
-                    int(value) if isinstance(current, int) else float(value))
-        return report
+        return scalar_fields_from_dict(cls, data, label="activity counters")
 
     def rate(self, counter: str) -> float:
         """Events per second for ``counter`` over the kernel runtime."""

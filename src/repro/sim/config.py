@@ -16,13 +16,20 @@ from __future__ import annotations
 import dataclasses
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..serialize import (Serializable, keyword_only, scalar_fields_from_dict,
+                         scalar_fields_to_dict)
 
 
+@keyword_only
 @dataclass
-class GPUConfig:
+class GPUConfig(Serializable):
     """Every architectural parameter the simulator and power model use.
 
     Clocks are in hertz; sizes in bytes unless the name says otherwise.
+    Construction is keyword-only: with ~70 tuning knobs, positional
+    arguments would silently rebind as fields are added or reordered.
     """
 
     name: str = "custom"
@@ -221,6 +228,21 @@ class GPUConfig:
     def scaled(self, **overrides) -> "GPUConfig":
         """Copy with parameter overrides (design-space exploration)."""
         return dataclasses.replace(self, **overrides)
+
+    # -- dict/JSON interface (uniform result-object surface) ---------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain dict of every parameter (stable field order)."""
+        return scalar_fields_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GPUConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Missing parameters keep their defaults; unknown parameters raise
+        ``ValueError``; the result passes :meth:`validate`.
+        """
+        return scalar_fields_from_dict(cls, data, label="config parameters")
 
 
 def gt240() -> GPUConfig:

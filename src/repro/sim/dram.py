@@ -121,8 +121,7 @@ class DRAMSystem:
 
         One REFab per ``dram_refresh_interval_us`` per channel.
         """
-        per_channel = runtime_s / (self.config.dram_refresh_interval_us * 1e-6)
-        return per_channel * len(self.channels)
+        return refresh_operations(self.config, runtime_s)
 
     @property
     def activates(self) -> int:
@@ -139,3 +138,15 @@ class DRAMSystem:
     @property
     def writes(self) -> int:
         return sum(c.writes for c in self.channels)
+
+
+def refresh_operations(config: GPUConfig, runtime_s: float) -> float:
+    """All-bank refresh operations across all channels in ``runtime_s``.
+
+    Shared by the live :class:`DRAMSystem` and the telemetry window
+    reconstruction (:func:`repro.telemetry.sum_windows`), so both derive
+    the time-based refresh counter with the exact same arithmetic --
+    the windowed-trace invariant needs them bit-identical.
+    """
+    per_channel = runtime_s / (config.dram_refresh_interval_us * 1e-6)
+    return per_channel * config.n_mem_partitions

@@ -15,8 +15,8 @@ verification) and the aggregated :class:`~repro.sim.activity.ActivityReport`
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -26,16 +26,26 @@ from .config import GPUConfig
 from .core import Core
 from .memsys import MemorySystem
 
+if TYPE_CHECKING:  # telemetry imports sim, never the other way around
+    from ..telemetry import ActivityTracer, ActivityWindow
+
 
 @dataclass
 class SimulationOutput:
-    """Result of simulating one kernel launch."""
+    """Result of simulating one kernel launch.
+
+    ``gmem`` is the final global-memory image for fresh simulations and
+    ``None`` for replayed results (:meth:`replay`); ``windows`` holds
+    the telemetry activity windows when the run was traced.
+    """
 
     config: GPUConfig
-    launch: KernelLaunch
+    launch: Optional[KernelLaunch]
     activity: ActivityReport
-    gmem: np.ndarray
+    gmem: Optional[np.ndarray]
     cycles: float
+    windows: Optional[List["ActivityWindow"]] = field(default=None,
+                                                      repr=False)
 
     @property
     def runtime_s(self) -> float:
@@ -47,6 +57,25 @@ class SimulationOutput:
         if self.cycles <= 0:
             return 0.0
         return self.activity.issued_instructions / self.cycles
+
+    @classmethod
+    def replay(cls, config: GPUConfig, launch: Optional[KernelLaunch],
+               activity: ActivityReport,
+               windows: Optional[List["ActivityWindow"]] = None,
+               ) -> "SimulationOutput":
+        """A performance record rebuilt from a saved activity report.
+
+        Used by power-model sweeps and cached results: timing
+        (``cycles`` *and* ``runtime_s``) comes from the supplied report
+        itself -- ``runtime_s`` is never rederived from shader cycles,
+        so a report whose runtime does not equal ``shader_cycles /
+        shader_clock_hz`` (scaled traces, foreign-clock sweeps) keeps
+        its real runtime and energy numbers.  No memory image is
+        fabricated (``gmem`` is ``None``).
+        """
+        return cls(config=config, launch=launch, activity=activity,
+                   gmem=None, cycles=activity.shader_cycles,
+                   windows=windows)
 
 
 class GPU:
@@ -67,13 +96,19 @@ class GPU:
         ]
 
     def run(self, launch: KernelLaunch, max_cycles: float = 5e8,
-            gmem: Optional[np.ndarray] = None) -> SimulationOutput:
+            gmem: Optional[np.ndarray] = None,
+            tracer: Optional["ActivityTracer"] = None) -> SimulationOutput:
         """Simulate ``launch`` to completion.
 
         Args:
             gmem: Optional pre-existing global-memory image to execute
                 against (used by :meth:`run_sequence`); by default the
                 launch's own initial image is built.
+            tracer: Optional :class:`~repro.telemetry.ActivityTracer`;
+                when given, cumulative activity is snapshotted at every
+                window boundary and the output carries the per-window
+                deltas.  Tracing only *reads* counters, so simulation
+                results are bit-identical with or without it.
         """
         config = self.config
         if gmem is None:
@@ -81,6 +116,9 @@ class GPU:
         cmem = launch.const_init
         for core in self.cores:
             core.prepare(launch.kernel, launch, gmem, cmem)
+        if tracer is not None:
+            tracer.begin(lambda t: self._collect(launch, t),
+                         config=config, launch=launch)
 
         pending = list(range(launch.grid.count))
         next_block = 0
@@ -117,6 +155,8 @@ class GPU:
                     f"simulation exceeded {max_cycles:.0f} cycles "
                     f"(kernel {launch.kernel.name!r})"
                 )
+            if tracer is not None and now > tracer.next_boundary:
+                tracer.cut(now)
             core = self.cores[idx]
             wake = core.step(now)
             final_time = max(final_time, now)
@@ -133,12 +173,16 @@ class GPU:
             raise RuntimeError("scheduler finished with unplaced blocks")
 
         activity = self._collect(launch, final_time)
+        windows = None
+        if tracer is not None:
+            windows = tracer.finish(final_time, activity)
         return SimulationOutput(
             config=config,
             launch=launch,
             activity=activity,
             gmem=gmem,
             cycles=final_time,
+            windows=windows,
         )
 
     # -- aggregation ---------------------------------------------------------------
@@ -228,14 +272,17 @@ class GPU:
         return act
 
 
-def simulate(config: GPUConfig, launch: KernelLaunch) -> SimulationOutput:
+def simulate(config: GPUConfig, launch: KernelLaunch,
+             tracer: Optional["ActivityTracer"] = None) -> SimulationOutput:
     """Convenience wrapper: build a fresh GPU and run one launch."""
-    return GPU(config).run(launch)
+    return GPU(config).run(launch, tracer=tracer)
 
 
 def simulate_sequence(config: GPUConfig,
                       launches: List[KernelLaunch],
-                      max_cycles: float = 5e8) -> List[SimulationOutput]:
+                      max_cycles: float = 5e8,
+                      trace_interval: Optional[float] = None,
+                      sink=None) -> List[SimulationOutput]:
     """Run dependent kernels back-to-back on a shared memory image.
 
     The first launch's initial data is applied; every later kernel sees
@@ -243,9 +290,20 @@ def simulate_sequence(config: GPUConfig,
     multi-kernel benchmarks (bfs, backprop, mergeSort) actually execute.
     Each kernel runs on a fresh GPU timing state so its activity report
     stands alone.
+
+    Args:
+        trace_interval: Telemetry window length in shader cycles; when
+            set, each output carries its per-window activity deltas.
+        sink: Optional :class:`~repro.telemetry.TraceSink` receiving
+            every kernel's windows as they are cut (``on_begin`` /
+            ``on_end`` bracket each kernel).
     """
     if not launches:
         return []
+    tracer = None
+    if trace_interval is not None or sink is not None:
+        from ..telemetry import ActivityTracer
+        tracer = ActivityTracer(trace_interval or 1000.0, sink=sink)
     words = max(l.gmem_words for l in launches)
     gmem = np.zeros(words, dtype=np.float64)
     outputs = []
@@ -260,5 +318,5 @@ def simulate_sequence(config: GPUConfig,
             gmem[seen:launch.gmem_words] = image[seen:launch.gmem_words]
             seen = launch.gmem_words
         outputs.append(GPU(config).run(launch, max_cycles=max_cycles,
-                                       gmem=gmem))
+                                       gmem=gmem, tracer=tracer))
     return outputs

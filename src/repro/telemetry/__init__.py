@@ -1,0 +1,46 @@
+"""Windowed activity sampling and power tracing.
+
+The paper validates its power model against a testbed that samples real
+card power at 31.2 kHz *while kernels run*.  This package is the
+simulator-side counterpart: :class:`ActivityTracer` snapshots the
+simulator's cumulative activity counters every N shader cycles, cuts
+them into per-window :class:`ActivityWindow` deltas, and
+:class:`PowerTrace` feeds each window through the unchanged power model
+to get power over time with a per-component breakdown.
+
+Layering: ``repro.telemetry`` imports from ``repro.sim`` and
+``repro.power``; the simulator only ever sees the tracer through an
+``Optional`` parameter and pays one ``is not None`` test per event when
+tracing is off.  Summed window deltas reconstruct the aggregate
+:class:`~repro.sim.activity.ActivityReport` bit-identically (see
+:func:`sum_windows`).
+"""
+
+from .sink import ActivityTracer, CollectingSink, NullSink, TraceSink
+from .trace import PowerSample, PowerTrace
+from .window import (ActivityWindow, DERIVED_FIELDS, ENVELOPE_FIELDS,
+                     sum_windows, window_delta, windows_from_dicts,
+                     windows_to_dicts)
+from .export import (chrome_trace, render_trace, sparkline,
+                     write_chrome_trace, write_trace_json)
+
+__all__ = [
+    "ActivityTracer",
+    "ActivityWindow",
+    "CollectingSink",
+    "DERIVED_FIELDS",
+    "ENVELOPE_FIELDS",
+    "NullSink",
+    "PowerSample",
+    "PowerTrace",
+    "TraceSink",
+    "chrome_trace",
+    "render_trace",
+    "sparkline",
+    "sum_windows",
+    "window_delta",
+    "windows_from_dicts",
+    "windows_to_dicts",
+    "write_chrome_trace",
+    "write_trace_json",
+]

@@ -1,0 +1,128 @@
+"""Exporters for :class:`~repro.telemetry.trace.PowerTrace`.
+
+Three consumers, three formats:
+
+* :func:`write_trace_json` -- the full self-contained trace (config,
+  windows, samples) for archival and re-analysis;
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- counter events
+  loadable in ``chrome://tracing`` or Perfetto, one counter track per
+  chip component plus the card total;
+* :func:`sparkline` / :func:`render_trace` -- ASCII for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, TYPE_CHECKING
+
+from ..serialize import JSON_KWARGS
+
+if TYPE_CHECKING:
+    from .trace import PowerTrace
+
+#: Block characters for the sparkline, lowest to highest.
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as one line of ASCII intensity characters.
+
+    Values are resampled to ``width`` columns (averaging the samples
+    falling into each column) and scaled to the series' min..max range.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if len(series) > width:
+        resampled = []
+        for col in range(width):
+            lo = col * len(series) // width
+            hi = max((col + 1) * len(series) // width, lo + 1)
+            chunk = series[lo:hi]
+            resampled.append(sum(chunk) / len(chunk))
+        series = resampled
+    lo, hi = min(series), max(series)
+    span = hi - lo
+    top = len(_SPARK_LEVELS) - 1
+    if span <= 0:
+        return _SPARK_LEVELS[top // 2] * len(series)
+    return "".join(
+        _SPARK_LEVELS[int(round((v - lo) / span * top))] for v in series
+    )
+
+
+def render_trace(trace: "PowerTrace", width: int = 60) -> str:
+    """Multi-line ASCII summary of a power trace for the CLI."""
+    lines = [
+        f"power trace: {trace.kernel} on {trace.config.name} "
+        f"({trace.n_windows} windows x {trace.interval_cycles:.0f} cycles)",
+        f"  card power  [{sparkline(trace.card_watts(), width)}]  "
+        f"peak {trace.peak_card_w:.1f} W, mean {trace.mean_card_w:.1f} W",
+    ]
+    for name in trace.component_names():
+        series = trace.component_watts(name)
+        peak = max(series) if series else 0.0
+        lines.append(
+            f"  {name:<12.12}[{sparkline(series, width)}]  "
+            f"peak {peak:.1f} W"
+        )
+    lines.append(
+        f"  runtime {trace.duration_s * 1e6:.1f} us, "
+        f"energy {trace.energy_j * 1e3:.3f} mJ"
+    )
+    return "\n".join(lines)
+
+
+def chrome_trace(trace: "PowerTrace") -> Dict[str, Any]:
+    """Chrome-trace event dict (``chrome://tracing`` / Perfetto).
+
+    Each chip component becomes a counter track (``ph: "C"``) sampled at
+    every window start, timestamps in microseconds; the kernel itself is
+    a complete event (``ph: "X"``) spanning the whole trace.
+    """
+    pid, tid = 1, 1
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid,
+        "args": {"name": f"{trace.kernel} on {trace.config.name}"},
+    }]
+    if trace.samples:
+        events.append({
+            "name": trace.kernel, "ph": "X", "cat": "kernel",
+            "pid": pid, "tid": tid, "ts": 0.0,
+            "dur": trace.duration_s * 1e6,
+            "args": {"windows": trace.n_windows,
+                     "interval_cycles": trace.interval_cycles},
+        })
+    for s in trace.samples:
+        ts = s.start_s * 1e6
+        events.append({
+            "name": "card power (W)", "ph": "C", "pid": pid, "ts": ts,
+            "args": {"total": s.card_w},
+        })
+        for comp, parts in s.components.items():
+            events.append({
+                "name": f"{comp} (W)", "ph": "C", "pid": pid, "ts": ts,
+                "args": {"static": parts.get("static_w", 0.0),
+                         "dynamic": parts.get("dynamic_w", 0.0)},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "kernel": trace.kernel,
+            "gpu": trace.config.name,
+            "interval_cycles": trace.interval_cycles,
+        },
+    }
+
+
+def write_trace_json(trace: "PowerTrace", path) -> None:
+    """Write the full self-contained trace as JSON."""
+    with open(path, "w") as fh:
+        fh.write(trace.to_json())
+
+
+def write_chrome_trace(trace: "PowerTrace", path) -> None:
+    """Write the Chrome-trace export of ``trace`` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(trace), fh, **JSON_KWARGS)

@@ -44,6 +44,14 @@ class TestParser:
         assert args.gpu == "GTX580"
         assert args.profile
 
+    def test_run_trace_flags(self):
+        args = build_parser().parse_args(
+            ["run", "vectorAdd", "--trace-interval", "500",
+             "--trace-out", "t.json", "--trace-format", "chrome"])
+        assert args.trace_interval == 500.0
+        assert args.trace_out == "t.json"
+        assert args.trace_format == "chrome"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -94,6 +102,45 @@ class TestCommands:
         assert main(["arch", "--config", str(xml)]) == 0
         out = capsys.readouterr().out
         assert "GT240" in out
+
+
+class TestTraceCommands:
+    def test_run_with_trace_renders_and_writes(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.chrome.json"
+        assert main(["run", "vectorAdd", "--trace-interval", "200",
+                     "--trace-out", str(chrome),
+                     "--trace-format", "chrome"]) == 0
+        out = capsys.readouterr().out
+        assert "power trace:" in out and "card power" in out
+        data = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "C" for e in data["traceEvents"])
+
+    def test_trace_json_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["run", "vectorAdd", "--trace-interval", "200",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        from repro.telemetry import PowerTrace
+        trace = PowerTrace.from_json(path.read_text())
+        assert trace.kernel == "vectorAdd"
+        assert trace.n_windows >= 1
+
+    def test_trace_out_requires_interval(self, tmp_path, capsys):
+        assert main(["run", "vectorAdd",
+                     "--trace-out", str(tmp_path / "t.json")]) == 2
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "powertrace" in out and "table4" in out
+
+    def test_experiments_dispatch(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "===== table2 =====" in out and "GT240" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "ghost"]) == 2
 
 
 class TestDisasm:

@@ -56,6 +56,22 @@ class TestExecutionPathEquivalence:
                     assert type(getattr(r.activity, f.name)) is \
                         type(getattr(s.activity, f.name))
 
+    def test_traced_execution_is_bit_identical(self, three_ways, launches):
+        """Telemetry only reads counters: a traced run's aggregate must
+        equal the untraced run's, field by field."""
+        serial, _, _ = three_ways
+        traced = run_jobs(
+            [SimJob(config=gt240(), kernel=n, launch=launches[n],
+                    trace_interval=500.0) for n in SUITE],
+            n_jobs=1, cache=None)
+        for s, t in zip(serial, traced):
+            assert t.windows, t.label
+            for f in fields(ActivityReport):
+                assert getattr(t.activity, f.name) == \
+                    getattr(s.activity, f.name), \
+                    f"tracing perturbs {f.name} for {s.label}"
+            assert t.cycles == s.cycles
+
 
 class TestVectorizedVsScalarReference:
     @pytest.mark.parametrize("kernel", ["vectorAdd", "scalarProd", "bfs2"])

@@ -12,12 +12,28 @@ class TestRegistry:
         assert set(ALL_EXPERIMENTS) == {"table1", "table2", "table3",
                                         "table4", "table5", "fig4", "fig6",
                                         "microbench", "statmodel",
-                                        "divergence", "ablations"}
+                                        "divergence", "ablations",
+                                        "powertrace"}
 
     def test_every_experiment_has_interface(self):
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
             assert hasattr(module, "main")
+            assert hasattr(module, "EXPERIMENT")
+
+    def test_module_map_matches_experiment_registry(self):
+        from repro.experiments import all_experiments
+        assert set(all_experiments()) == set(ALL_EXPERIMENTS)
+        for name, module in ALL_EXPERIMENTS.items():
+            assert module.EXPERIMENT is all_experiments()[name]
+            assert module.EXPERIMENT.name == name
+            assert module.EXPERIMENT.description
+
+    def test_main_is_deprecated_alias(self, capsys):
+        from repro.experiments import exp_table2
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            exp_table2.main()
+        assert "GT240" in capsys.readouterr().out
 
 
 class TestTable1:
