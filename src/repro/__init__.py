@@ -22,6 +22,8 @@ Package map:
 * :mod:`repro.core` -- the GPUSimPow facade and validation harness
 * :mod:`repro.runner` -- parallel simulation jobs + on-disk result cache
 * :mod:`repro.telemetry` -- windowed activity sampling + power traces
+* :mod:`repro.backends` -- pluggable simulation backends (cycle,
+  functional_ref, analytical)
 * :mod:`repro.experiments` -- per-table/figure reproduction drivers
 """
 
@@ -36,6 +38,8 @@ Package map:
 #: stale entries can never silently poison validation numbers.
 SIM_VERSION = "2013.1"
 
+from .backends import (SimulationBackend, get_backend, list_backends,
+                       register_backend)
 from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
 from .core.validation import SuiteValidation, validate_suite
 from .power.chip import Chip
@@ -46,13 +50,15 @@ from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",
     "SimJob", "JobResult", "ResultCache", "run_jobs", "SIM_VERSION",
+    "SimulationBackend", "register_backend", "get_backend",
+    "list_backends",
     "ActivityTracer", "ActivityWindow", "TraceSink", "NullSink",
     "CollectingSink", "PowerSample", "PowerTrace", "sum_windows",
 ]

@@ -1,0 +1,38 @@
+"""Pluggable simulation backends.
+
+Three backends ship built-in (registered at import):
+
+* ``cycle`` -- the cycle-accurate event-driven simulator (default;
+  exact, supports tracing);
+* ``functional_ref`` -- the same engine driven by the per-lane scalar
+  reference interpreter (exact; the vectorization cross-check);
+* ``analytical`` -- a first-order sampled-profile estimator with no
+  per-cycle loop (fast, inexact; see
+  :mod:`repro.backends.analytical`).
+
+Pick one anywhere a ``backend=`` parameter or ``--backend`` flag
+appears; :mod:`repro.backends.validation` quantifies how two backends
+disagree.
+"""
+
+from .analytical import AnalyticalBackend
+from .base import (DEFAULT_BACKEND, BackendCapabilities, BackendError,
+                   SimulationBackend, all_backends, get_backend,
+                   list_backends, register_backend)
+from .cycle import CycleBackend, FunctionalRefBackend
+from .validation import (BackendComparison, CounterDelta, KernelComparison,
+                         compare_backends)
+
+#: The built-in backends, registered eagerly so any importer of this
+#: package (the runner's workers included) sees a populated registry.
+CYCLE = register_backend(CycleBackend())
+FUNCTIONAL_REF = register_backend(FunctionalRefBackend())
+ANALYTICAL = register_backend(AnalyticalBackend())
+
+__all__ = [
+    "SimulationBackend", "BackendCapabilities", "BackendError",
+    "DEFAULT_BACKEND", "register_backend", "get_backend", "list_backends",
+    "all_backends", "CycleBackend", "FunctionalRefBackend",
+    "AnalyticalBackend", "BackendComparison", "KernelComparison",
+    "CounterDelta", "compare_backends",
+]

@@ -1,0 +1,180 @@
+"""The simulation-backend seam: protocol, capabilities and registry.
+
+The paper frames the design space of power estimation as a trade-off
+between speed, accuracy and portability (Section II): measured
+counter-based models are fast but bound to existing silicon, while
+architectural simulation is slow but fully configurable.  A
+:class:`SimulationBackend` makes that trade-off a runtime choice instead
+of an architectural commitment: every backend consumes the same
+(:class:`~repro.sim.config.GPUConfig`, :class:`~repro.isa.launch.
+KernelLaunch`) pair and produces the same
+:class:`~repro.sim.gpu.SimulationOutput`, so the unchanged power model
+(:meth:`repro.power.chip.Chip.evaluate`) works behind any of them.
+
+Backends register by name, mirroring the experiment registry
+(:mod:`repro.experiments.base`); the runner, the :class:`~repro.core.
+gpusimpow.GPUSimPow` facade and the CLI all dispatch through
+:func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..isa.launch import KernelLaunch
+from ..sim.config import GPUConfig
+from ..sim.gpu import SimulationOutput
+
+#: Name of the backend used when none is requested: the cycle-accurate
+#: simulator, the only backend whose results are exact by construction.
+DEFAULT_BACKEND = "cycle"
+
+
+class BackendError(RuntimeError):
+    """A backend was asked for something it cannot do (or went wrong)."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can and cannot deliver.
+
+    Attributes:
+        supports_tracing: The backend can drive an
+            :class:`~repro.telemetry.ActivityTracer` (windowed activity
+            deltas).  Estimators that never step through time cannot.
+        exact: Activity counts are bit-identical to the cycle-accurate
+            reference simulator; False marks estimators whose numbers
+            carry model error.
+    """
+
+    supports_tracing: bool = False
+    exact: bool = False
+
+
+class SimulationBackend(ABC):
+    """One way to turn (config, launch) into a :class:`SimulationOutput`.
+
+    Subclasses define :attr:`name`, :attr:`version`,
+    :attr:`capabilities` and :meth:`simulate`.  ``version`` enters the
+    runner's content-addressed cache key for non-default backends, so
+    bumping it invalidates exactly that backend's cached results.
+    """
+
+    name: str = "?"
+    version: str = "0"
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"v{self.version} {self.capabilities}>")
+
+    @abstractmethod
+    def simulate(self, config: GPUConfig, launch: KernelLaunch, *,
+                 max_cycles: float = 5e8,
+                 gmem: Optional[np.ndarray] = None,
+                 tracer=None) -> SimulationOutput:
+        """Run one kernel launch.
+
+        Args:
+            config: Architecture to simulate.
+            launch: Kernel launch descriptor.
+            max_cycles: Watchdog -- implementations must refuse to
+                produce results claiming more shader cycles than this.
+            gmem: Optional pre-existing global-memory image (dependent
+                kernel chains); the launch's own image is built when
+                None.
+            tracer: Optional :class:`~repro.telemetry.ActivityTracer`.
+                Backends whose capabilities say
+                ``supports_tracing=False`` must raise
+                :class:`BackendError` rather than silently return an
+                untraced result.
+        """
+
+    def check_tracer(self, tracer) -> None:
+        """Raise :class:`BackendError` on an unsupported tracer."""
+        if tracer is not None and not self.capabilities.supports_tracing:
+            raise BackendError(
+                f"backend {self.name!r} does not support activity tracing"
+            )
+
+    def simulate_sequence(self, config: GPUConfig,
+                          launches: List[KernelLaunch], *,
+                          max_cycles: float = 5e8,
+                          trace_interval: Optional[float] = None,
+                          sink=None) -> List[SimulationOutput]:
+        """Run dependent kernels back-to-back on a shared memory image.
+
+        Same contract as :func:`repro.sim.gpu.simulate_sequence` (and
+        bit-identical to it for the ``cycle`` backend): the first
+        launch's initial data is applied, every later kernel sees its
+        predecessors' output, and each launch's initializers apply only
+        beyond the high-water mark of already-materialised words.
+        """
+        if not launches:
+            return []
+        tracer = None
+        if trace_interval is not None or sink is not None:
+            from ..telemetry import ActivityTracer
+            tracer = ActivityTracer(trace_interval or 1000.0, sink=sink)
+            self.check_tracer(tracer)
+        words = max(l.gmem_words for l in launches)
+        gmem = np.zeros(words, dtype=np.float64)
+        outputs = []
+        seen = 0
+        for launch in launches:
+            if launch.gmem_words > seen:
+                image = launch.build_global_memory()
+                gmem[seen:launch.gmem_words] = image[seen:launch.gmem_words]
+                seen = launch.gmem_words
+            outputs.append(self.simulate(config, launch,
+                                         max_cycles=max_cycles,
+                                         gmem=gmem, tracer=tracer))
+        return outputs
+
+
+# ---------------------------------------------------------------------------
+# Registry (mirrors repro.experiments.base)
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, SimulationBackend] = {}
+
+
+def register_backend(backend: SimulationBackend) -> SimulationBackend:
+    """Register (or re-register) a backend instance under its name.
+
+    Returns the backend so the call can double as a module-level
+    definition: ``BACKEND = register_backend(MyBackend())``.
+    Re-registration replaces the previous instance -- cache keys embed
+    the backend's *name and version*, not its identity, so results
+    survive a re-registration of an equivalent backend.
+    """
+    name = getattr(backend, "name", "")
+    if not name or name == "?":
+        raise ValueError(f"backend {backend!r} needs a non-empty name")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> SimulationBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown simulation backend {name!r}; "
+            f"registered: {', '.join(list_backends()) or '(none)'}"
+        ) from None
+
+
+def list_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def all_backends() -> Dict[str, SimulationBackend]:
+    """Name -> backend mapping (a copy; mutating it registers nothing)."""
+    return dict(_REGISTRY)

@@ -1,0 +1,79 @@
+"""Exact backends: the cycle-level simulator and its scalar cross-check.
+
+``cycle`` is the default backend -- a thin wrapper over
+:class:`repro.sim.gpu.GPU`, bit-identical to calling it directly.
+
+``functional_ref`` runs the *same* cycle-level engine but swaps the
+vectorised functional layer for the per-lane scalar reference
+interpreter (:mod:`repro.sim.functional_ref`).  Timing, scheduling and
+activity accounting are untouched, so its results must equal the
+``cycle`` backend's bit for bit; any divergence is a vectorization bug.
+It exists as a cross-check (and is what the ``backends`` validation
+experiment asserts against), not as something to run for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..isa.launch import KernelLaunch
+from ..sim.config import GPUConfig
+from ..sim.gpu import GPU, SimulationOutput
+from .base import BackendCapabilities, SimulationBackend
+
+
+def _sim_version() -> str:
+    from .. import SIM_VERSION
+    return SIM_VERSION
+
+
+class CycleBackend(SimulationBackend):
+    """The cycle-accurate event-driven simulator (the paper's model)."""
+
+    name = "cycle"
+    capabilities = BackendCapabilities(supports_tracing=True, exact=True)
+
+    @property
+    def version(self) -> str:
+        """Tracks :data:`repro.SIM_VERSION`: the simulator IS this backend."""
+        return _sim_version()
+
+    def simulate(self, config: GPUConfig, launch: KernelLaunch, *,
+                 max_cycles: float = 5e8,
+                 gmem: Optional[np.ndarray] = None,
+                 tracer=None) -> SimulationOutput:
+        self.check_tracer(tracer)
+        return GPU(config).run(launch, max_cycles=max_cycles,
+                               gmem=gmem, tracer=tracer)
+
+
+class FunctionalRefBackend(SimulationBackend):
+    """Cycle engine driven by the scalar per-lane reference interpreter."""
+
+    name = "functional_ref"
+    capabilities = BackendCapabilities(supports_tracing=True, exact=True)
+
+    @property
+    def version(self) -> str:
+        return _sim_version()
+
+    def simulate(self, config: GPUConfig, launch: KernelLaunch, *,
+                 max_cycles: float = 5e8,
+                 gmem: Optional[np.ndarray] = None,
+                 tracer=None) -> SimulationOutput:
+        self.check_tracer(tracer)
+        from ..sim import core as sim_core
+        from ..sim.functional_ref import (branch_taken_mask_reference,
+                                          execute_alu_reference)
+        # The core binds the functional entry points at module level;
+        # swap them for the scalar oracle for the duration of the run.
+        saved = (sim_core.execute_alu, sim_core.branch_taken_mask)
+        sim_core.execute_alu = execute_alu_reference
+        sim_core.branch_taken_mask = branch_taken_mask_reference
+        try:
+            return GPU(config).run(launch, max_cycles=max_cycles,
+                                   gmem=gmem, tracer=tracer)
+        finally:
+            sim_core.execute_alu, sim_core.branch_taken_mask = saved

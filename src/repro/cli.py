@@ -6,18 +6,23 @@ serves both from a shell:
 
     gpusimpow run BlackScholes --gpu GT240 --profile
     gpusimpow run matrixMul --gpu GTX580 --save-trace trace.json
+    gpusimpow run heartwall --gpu GTX580 --backend analytical
     gpusimpow power --gpu GT240 --trace trace.json
     gpusimpow arch --gpu GTX580
     gpusimpow list
     gpusimpow arch --config my_gpu.xml
     gpusimpow validate --gpu GT240 --jobs 4
     gpusimpow validate --gpu GTX580 --no-cache
+    gpusimpow cache stats
+    gpusimpow cache clear --yes
 
 ``run`` and ``validate`` execute their simulations through
 :mod:`repro.runner`: ``--jobs N`` fans the per-kernel simulations out
 over N worker processes, and results are cached on disk by content
-(``--no-cache`` opts out).  Results are bit-identical across all
-execution paths, so the flags only change speed, never numbers.
+(``--no-cache`` opts out).  With the default ``cycle`` backend, results
+are bit-identical across all execution paths, so the runner flags only
+change speed, never numbers; ``--backend`` swaps the performance model
+itself (see ``repro.backends``) and caches per backend.
 """
 
 from __future__ import annotations
@@ -67,6 +72,22 @@ def _add_runner_args(p) -> None:
                    help="bypass the on-disk activity result cache")
 
 
+def _add_backend_arg(p) -> None:
+    p.add_argument("--backend", default="cycle", metavar="NAME",
+                   help="simulation backend (see `gpusimpow list`; "
+                        "default: cycle)")
+
+
+def _check_backend(name: str) -> int:
+    """0 when ``name`` is registered, else prints the choices and 2."""
+    from .backends import list_backends
+    if name not in list_backends():
+        print(f"unknown backend {name!r}; "
+              f"registered: {', '.join(list_backends())}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_list(args) -> int:
     print(f"{'benchmark':<14s}{'kernels':>8s}  {'origin':<10s}description")
     for name in benchmark_names():
@@ -74,6 +95,10 @@ def _cmd_list(args) -> int:
         print(f"{info.name:<14s}{info.n_kernels:>8d}  {info.origin:<10s}"
               f"{info.description}")
     print("\nkernel labels:", ", ".join(sorted(all_kernel_launches())))
+    from .backends import all_backends
+    print("backends:", ", ".join(
+        f"{name} (v{b.version}{', exact' if b.capabilities.exact else ''})"
+        for name, b in sorted(all_backends().items())))
     return 0
 
 
@@ -94,16 +119,27 @@ def _cmd_run(args) -> int:
         print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
               file=sys.stderr)
         return 2
+    if _check_backend(args.backend):
+        return 2
+    if args.trace_interval is not None:
+        from .backends import get_backend
+        if not get_backend(args.backend).capabilities.supports_tracing:
+            print(f"backend {args.backend!r} does not support "
+                  f"--trace-interval", file=sys.stderr)
+            return 2
     sim = GPUSimPow(config)
     jobs, cache, progress = _runner_options(args)
     job, = run_jobs([SimJob(config=config, kernel=args.kernel,
                             launch=launches[args.kernel],
-                            trace_interval=args.trace_interval)],
+                            trace_interval=args.trace_interval,
+                            backend=args.backend)],
                     n_jobs=jobs, cache=cache, progress=progress)
     result = sim.run(launches[args.kernel], activity=job.activity,
                      windows=job.windows,
-                     trace_interval=args.trace_interval)
-    print(f"{args.kernel} on {config.name}:")
+                     trace_interval=args.trace_interval,
+                     backend=args.backend)
+    suffix = "" if args.backend == "cycle" else f" ({args.backend} backend)"
+    print(f"{args.kernel} on {config.name}{suffix}:")
     print(f"  runtime:       {result.runtime_s * 1e6:10.2f} us "
           f"({result.performance.cycles:.0f} shader cycles, "
           f"IPC {result.performance.ipc:.2f})")
@@ -220,12 +256,43 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    """Inspect or clear the on-disk activity result cache."""
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"location: {stats['location']}")
+        print(f"entries:  {stats['entries']}")
+        print(f"size:     {stats['bytes']} bytes "
+              f"({stats['bytes'] / 1e6:.2f} MB)")
+        return 0
+    # clear
+    stats = cache.stats()
+    if stats["entries"] == 0:
+        print(f"cache at {stats['location']} is already empty")
+        return 0
+    if not args.yes:
+        prompt = (f"remove {stats['entries']} cached results "
+                  f"({stats['bytes'] / 1e6:.2f} MB) from "
+                  f"{stats['location']}? [y/N] ")
+        answer = input(prompt).strip().lower()
+        if answer not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = cache.clear()
+    print(f"removed {removed} entries from {stats['location']}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from .core.validation import validate_suite
+    if _check_backend(args.backend):
+        return 2
     names = args.kernels.split(",") if args.kernels else None
     jobs, cache, progress = _runner_options(args)
     suite = validate_suite(_load_config(args), kernel_names=names,
-                           jobs=jobs, cache=cache, progress=progress)
+                           jobs=jobs, cache=cache, progress=progress,
+                           backend=args.backend)
     print(f"{suite.gpu}: avg relative error "
           f"{suite.average_relative_error * 100:.1f}%, "
           f"dynamic-only {suite.average_dynamic_error * 100:.1f}%, "
@@ -245,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="gpusimpow",
         description="GPUSimPow: coupled GPGPU performance+power simulation",
     )
+    from . import SIM_VERSION, __version__
+    parser.add_argument("--version", action="version",
+                        version=f"gpusimpow {__version__} "
+                                f"(sim {SIM_VERSION})")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_gpu_args(p):
@@ -279,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="power-trace file format: self-contained "
                             "JSON or chrome://tracing events")
     _add_runner_args(p_run)
+    _add_backend_arg(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_analyze = sub.add_parser("analyze",
@@ -315,7 +387,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--kernels", default=None,
                        help="comma-separated kernel subset")
     _add_runner_args(p_val)
+    _add_backend_arg(p_val)
     p_val.set_defaults(func=_cmd_validate)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the result cache")
+    p_cache.add_argument("action", choices=("stats", "clear"),
+                         help="stats: entry count and size; "
+                              "clear: drop every entry")
+    p_cache.add_argument("--dir", default=None, metavar="DIR",
+                         help="cache location (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/gpusimpow)")
+    p_cache.add_argument("--yes", action="store_true",
+                         help="clear without asking for confirmation")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

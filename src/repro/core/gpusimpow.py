@@ -16,7 +16,7 @@ from ..power.result import PowerReport
 from ..serialize import Serializable
 from ..sim.activity import ActivityReport
 from ..sim.config import GPUConfig
-from ..sim.gpu import GPU, SimulationOutput
+from ..sim.gpu import SimulationOutput
 from ..telemetry import (ActivityTracer, ActivityWindow, PowerTrace,
                          TraceSink, windows_from_dicts, windows_to_dicts)
 
@@ -45,6 +45,7 @@ class SimulationResult(Serializable):
     performance: SimulationOutput
     power: PowerReport
     trace: Optional[PowerTrace] = field(default=None, repr=False)
+    backend: str = "cycle"
 
     @property
     def activity(self) -> ActivityReport:
@@ -92,6 +93,7 @@ class SimulationResult(Serializable):
             "config": self.config.to_dict(),
             "activity": self.activity.to_dict(),
             "power": self.power.to_dict(),
+            "backend": self.backend,
         }
         if self.performance.windows is not None:
             data["windows"] = windows_to_dicts(self.performance.windows)
@@ -115,6 +117,7 @@ class SimulationResult(Serializable):
             power=PowerReport.from_dict(data["power"]),
             trace=(PowerTrace.from_dict(data["trace"])
                    if "trace" in data else None),
+            backend=data.get("backend", "cycle"),
         )
 
 
@@ -138,7 +141,8 @@ class GPUSimPow:
             activity: Optional[ActivityReport] = None,
             windows: Optional[List[ActivityWindow]] = None,
             trace_interval: Optional[float] = None,
-            sink: Optional[TraceSink] = None) -> SimulationResult:
+            sink: Optional[TraceSink] = None,
+            backend: str = "cycle") -> SimulationResult:
         """Simulate ``launch`` and evaluate its power.
 
         A pre-computed ``activity`` report may be supplied to re-evaluate
@@ -156,14 +160,20 @@ class GPUSimPow:
             sink: Optional :class:`~repro.telemetry.TraceSink` receiving
                 windows as they are cut (implies tracing, with a
                 1000-cycle default interval).
+            backend: Simulation backend name (``repro.backends``); for
+                replays (``activity`` given) it only records which
+                backend produced the supplied report.
         """
+        from ..backends import get_backend
         tracer = None
         if activity is None:
             if trace_interval is not None or sink is not None:
                 tracer = ActivityTracer(trace_interval or 1000.0, sink=sink)
-            perf = GPU(self.config).run(launch, tracer=tracer)
+            perf = get_backend(backend).simulate(self.config, launch,
+                                                 tracer=tracer)
             activity = perf.activity
         else:
+            get_backend(backend)  # fail fast on unknown names
             perf = SimulationOutput.replay(self.config, launch, activity,
                                            windows=windows)
         power = self.chip.evaluate(activity)
@@ -180,11 +190,13 @@ class GPUSimPow:
             performance=perf,
             power=power,
             trace=trace,
+            backend=backend,
         )
 
     def run_benchmark(self, name: str,
                       trace_interval: Optional[float] = None,
-                      sink: Optional[TraceSink] = None) -> "BenchmarkResult":
+                      sink: Optional[TraceSink] = None,
+                      backend: str = "cycle") -> "BenchmarkResult":
         """Run all kernels of a Table I benchmark as a dependent chain.
 
         Kernels execute on a shared global-memory image (the way the
@@ -193,12 +205,12 @@ class GPUSimPow:
         ``trace_interval`` is set -- and the totals aggregate the whole
         benchmark.
         """
-        from ..sim.gpu import simulate_sequence
+        from ..backends import get_backend
         from ..workloads import build_benchmark
         launches = build_benchmark(name)
-        outputs = simulate_sequence(self.config, launches,
-                                    trace_interval=trace_interval,
-                                    sink=sink)
+        outputs = get_backend(backend).simulate_sequence(
+            self.config, launches, trace_interval=trace_interval,
+            sink=sink)
         results = []
         for launch, perf in zip(launches, outputs):
             trace = None
@@ -212,6 +224,7 @@ class GPUSimPow:
                 performance=perf,
                 power=self.chip.evaluate(perf.activity),
                 trace=trace,
+                backend=backend,
             ))
         return BenchmarkResult(benchmark=name, kernels=results)
 

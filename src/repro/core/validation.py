@@ -113,7 +113,8 @@ def validate_suite(config: GPUConfig,
                    gt240_idle_ratio: float = 0.9026,
                    jobs: Optional[int] = None,
                    cache=AUTO,
-                   progress=None) -> SuiteValidation:
+                   progress=None,
+                   backend: str = "cycle") -> SuiteValidation:
     """Run the full Fig. 6 comparison for one GPU configuration.
 
     Args:
@@ -123,15 +124,18 @@ def validate_suite(config: GPUConfig,
             :func:`repro.runner.run_jobs`.
         progress: Optional ``(done, total, result)`` callback, passed
             through to :func:`repro.runner.run_jobs`.
+        backend: Simulation backend for the performance side (the
+            virtual-hardware measurement side is unaffected).
     """
     launches = all_kernel_launches()
     names = kernel_names or sorted(launches)
     sim = GPUSimPow(config)
 
-    # The cycle simulations are the expensive, embarrassingly parallel
-    # part; fan them out through the runner, then evaluate the (cheap)
-    # power model serially on each returned activity report.
-    sim_jobs = [SimJob(config=config, kernel=name, launch=launches[name])
+    # The performance simulations are the expensive, embarrassingly
+    # parallel part; fan them out through the runner, then evaluate the
+    # (cheap) power model serially on each returned activity report.
+    sim_jobs = [SimJob(config=config, kernel=name, launch=launches[name],
+                       backend=backend)
                 for name in names]
     job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache,
                            progress=progress)
@@ -140,7 +144,8 @@ def validate_suite(config: GPUConfig,
     session = []
     results = {}
     for name, jr in zip(names, job_results):
-        result = sim.run(launches[name], activity=jr.activity)
+        result = sim.run(launches[name], activity=jr.activity,
+                         backend=backend)
         results[name] = result
         session.append((name, result.activity, launches[name].repeat,
                         launches[name].repeatable))

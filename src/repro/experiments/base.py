@@ -20,7 +20,6 @@ with :func:`experiment_names` / :func:`all_experiments`.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
@@ -117,22 +116,3 @@ def experiment_names() -> List[str]:
 def all_experiments() -> Dict[str, Experiment]:
     """Name -> :class:`Experiment` for every registered experiment."""
     return dict(_REGISTRY)
-
-
-def deprecated_main(experiment: Experiment) -> Callable[[], None]:
-    """Build the backwards-compatible ``main()`` for a driver module.
-
-    The returned function still regenerates and prints the artifact but
-    emits a :class:`DeprecationWarning` pointing at the registry path.
-    """
-    def main() -> None:
-        warnings.warn(
-            f"exp_{experiment.name}.main() is deprecated; use "
-            f"'python -m repro.experiments {experiment.name}' or "
-            f"repro.experiments.get_experiment({experiment.name!r}).run()",
-            DeprecationWarning, stacklevel=2)
-        experiment.run(echo=True)
-
-    main.__doc__ = ("Regenerate and print this artifact "
-                    "(deprecated alias for ``EXPERIMENT.run(echo=True)``).")
-    return main

@@ -1,0 +1,106 @@
+"""Cross-backend validation report (the backend seam's contract).
+
+Two comparisons, both through
+:func:`repro.backends.validation.compare_backends`:
+
+* ``cycle`` vs ``functional_ref`` must agree **exactly** -- same
+  timing engine, different functional layer, so any disagreement is a
+  bug in one of the functional implementations;
+* ``cycle`` vs ``analytical`` differ by model error: the analytical
+  estimator trades the per-cycle loop for closed-form throughput/latency
+  bounds, and this report quantifies what that costs in activity and
+  total-power accuracy on the Table IV suite.
+
+The JSON artifact (``backends.json``) is the report CI archives from
+its ``backends`` job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from ..backends.validation import BackendComparison, compare_backends
+from ..runner import AUTO
+from ..sim.config import gt240
+
+from . import base
+
+#: Small suite for the exact-equivalence check (cheap, still covers
+#: divergence, shared memory and multi-kernel variety).
+EXACT_KERNELS = ["vectorAdd", "matrixMul", "bfs1"]
+
+#: The Table IV power-dissection suite: the kernels the analytical
+#: backend's accuracy is quoted on.
+ESTIMATE_KERNELS = ["BlackScholes", "heartwall", "pathfinder", "hotspot"]
+
+
+@dataclass
+class BackendsResult:
+    exact: BackendComparison      # cycle vs functional_ref
+    estimate: BackendComparison   # cycle vs analytical
+
+
+def run(jobs: Optional[int] = None, cache=AUTO) -> BackendsResult:
+    """Run both cross-backend comparisons on the GT240."""
+    config = gt240()
+    return BackendsResult(
+        exact=compare_backends(config, EXACT_KERNELS,
+                               backend_a="cycle",
+                               backend_b="functional_ref",
+                               jobs=jobs, cache=cache),
+        estimate=compare_backends(config, ESTIMATE_KERNELS,
+                                  backend_a="cycle",
+                                  backend_b="analytical",
+                                  jobs=jobs, cache=cache),
+    )
+
+
+def format_table(result: BackendsResult) -> str:
+    lines = []
+    ex = result.exact
+    lines.append(f"cycle vs functional_ref ({ex.config_name}): "
+                 f"{'EXACT' if ex.exact_match else 'MISMATCH'}")
+    for k in ex.kernels:
+        tag = "ok" if k.exact_match else "DIFFERS"
+        lines.append(f"  {k.kernel:<14s}{k.cycles_a:>12.0f} cycles  {tag}")
+    lines.append("")
+    est = result.estimate
+    lines.append(f"cycle vs analytical ({est.config_name}): "
+                 f"mean |power err| {est.mean_abs_power_error * 100:.1f}%, "
+                 f"max {est.max_abs_power_error * 100:.1f}%")
+    lines.append(f"{'kernel':<14s}{'cyc cycles':>12s}{'ana cycles':>12s}"
+                 f"{'cyc W':>9s}{'ana W':>9s}{'err':>8s}")
+    for k in est.kernels:
+        lines.append(f"{k.kernel:<14s}{k.cycles_a:>12.0f}"
+                     f"{k.cycles_b:>12.0f}{k.power_a_w:>9.2f}"
+                     f"{k.power_b_w:>9.2f}"
+                     f"{k.power_rel_error * 100:>7.1f}%")
+    if est.speedup is not None:
+        lines.append(f"fresh-run speedup: {est.speedup:.1f}x")
+    return "\n".join(lines)
+
+
+def write_report(result: BackendsResult, out_dir: Path) -> List[Path]:
+    """Write the machine-readable comparison report (CI artifact)."""
+    path = Path(out_dir) / "backends.json"
+    payload = {"exact": result.exact.to_dict(),
+               "estimate": result.estimate.to_dict()}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return [path]
+
+
+EXPERIMENT = base.register(base.Experiment(
+    name="backends",
+    description="cross-backend validation: exact twin + analytical error",
+    compute=run,
+    render=format_table,
+    uses_runner=True,
+    artifacts=write_report,
+))
+
+
+if __name__ == "__main__":
+    EXPERIMENT.run(echo=True)

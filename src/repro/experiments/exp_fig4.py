@@ -100,8 +100,6 @@ EXPERIMENT = base.register(base.Experiment(
     render=_render,
 ))
 
-main = base.deprecated_main(EXPERIMENT)
-
 
 if __name__ == "__main__":
     EXPERIMENT.run(echo=True)

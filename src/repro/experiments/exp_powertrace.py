@@ -91,8 +91,6 @@ EXPERIMENT = base.register(base.Experiment(
     artifacts=write_artifacts,
 ))
 
-main = base.deprecated_main(EXPERIMENT)
-
 
 if __name__ == "__main__":
     EXPERIMENT.run(echo=True)

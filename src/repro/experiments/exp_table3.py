@@ -81,8 +81,6 @@ EXPERIMENT = base.register(base.Experiment(
     render=format_table,
 ))
 
-main = base.deprecated_main(EXPERIMENT)
-
 
 if __name__ == "__main__":
     EXPERIMENT.run(echo=True)

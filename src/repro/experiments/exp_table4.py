@@ -101,8 +101,6 @@ EXPERIMENT = base.register(base.Experiment(
     uses_runner=True,
 ))
 
-main = base.deprecated_main(EXPERIMENT)
-
 
 if __name__ == "__main__":
     EXPERIMENT.run(echo=True)

@@ -14,7 +14,8 @@ results by a stable hash of *all* of them:
   counts),
 * the launch geometry (grid, block, gmem size, repeat policy, params),
 * a digest of the initial memory image (globals_init + const_init),
-* the simulation watchdog (``max_cycles``).
+* the simulation watchdog (``max_cycles``),
+* for non-default backends: the backend name and model version.
 
 Anything that could change the resulting :class:`ActivityReport` is in
 the key, so a hit is always safe to reuse; anything else (cache
@@ -93,7 +94,11 @@ def job_key(job: SimJob) -> str:
     ``trace_interval`` enters the payload only when set, so untraced
     jobs keep the exact keys (and cache entries) they had before
     telemetry existed; a traced job is a distinct artifact because its
-    entry also stores the per-window deltas.
+    entry also stores the per-window deltas.  Likewise ``backend``
+    enters only for non-default backends -- default (``cycle``) jobs
+    keep their pre-backend-era keys, and each other backend's results
+    are keyed by its name *and* model version, so bumping a backend
+    version invalidates exactly that backend's entries.
     """
     payload = {
         "sim_version": _version_tag(),
@@ -103,6 +108,11 @@ def job_key(job: SimJob) -> str:
     }
     if job.trace_interval is not None:
         payload["trace_interval"] = repr(float(job.trace_interval))
+    if job.backend != "cycle":
+        from ..backends import get_backend
+        backend = get_backend(job.backend)
+        payload["backend"] = {"name": backend.name,
+                              "version": str(backend.version)}
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -154,6 +164,11 @@ class ResultCache:
                 entry = json.load(handle)
             if entry.get("sim_version") != _version_tag():
                 raise ValueError("stale simulator version")
+            # Entries written before backends existed carry no backend
+            # field; they are all cycle-backend results, so only a
+            # mismatch with an explicit different backend is stale.
+            if entry.get("backend", "cycle") != job.backend:
+                raise ValueError("entry from a different backend")
             activity = _report_from_dict(entry["activity"])
             cycles = float(entry["cycles"])
             windows = None
@@ -182,6 +197,7 @@ class ResultCache:
             "sim_version": _version_tag(),
             "kernel": job.label,
             "gpu": job.config.name,
+            "backend": job.backend,
             "cycles": float(cycles),
             "activity": activity.as_dict(),
         }
@@ -228,3 +244,17 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, on-disk bytes and location (for ``cache stats``)."""
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        return {"location": str(self.root), "entries": entries,
+                "bytes": size}

@@ -40,6 +40,9 @@ class SimJob:
         trace_interval: Telemetry window length in shader cycles; when
             set, the result carries per-window activity deltas (and the
             interval becomes part of the cache key).
+        backend: Simulation backend name (``repro.backends`` registry).
+            Non-default backends enter the cache key, so each backend's
+            results are distinct artifacts.
     """
 
     config: GPUConfig
@@ -48,6 +51,7 @@ class SimJob:
     max_cycles: float = 5e8
     tag: str = ""
     trace_interval: Optional[float] = None
+    backend: str = "cycle"
 
     def __post_init__(self) -> None:
         if self.kernel is None and self.launch is None:
@@ -55,6 +59,8 @@ class SimJob:
         if self.trace_interval is not None and not self.trace_interval > 0:
             raise ValueError(
                 f"trace_interval must be positive, got {self.trace_interval!r}")
+        if not self.backend:
+            raise ValueError("SimJob.backend must be a backend name")
 
     @property
     def label(self) -> str:
@@ -81,15 +87,21 @@ class SimJob:
         return launches[self.kernel]
 
     def execute(self):
-        """Run the job in this process; returns a ``SimulationOutput``."""
-        from ..sim.gpu import GPU
+        """Run the job in this process; returns a ``SimulationOutput``.
+
+        Dispatches through the backend registry -- an unknown backend
+        name or a tracing request against a backend that cannot trace
+        fails here, before any simulation work.
+        """
+        from ..backends import get_backend
+        backend = get_backend(self.backend)
         tracer = None
         if self.trace_interval is not None:
             from ..telemetry import ActivityTracer
             tracer = ActivityTracer(self.trace_interval)
-        return GPU(self.config).run(self.resolve_launch(),
-                                    max_cycles=self.max_cycles,
-                                    tracer=tracer)
+        return backend.simulate(self.config, self.resolve_launch(),
+                                max_cycles=self.max_cycles,
+                                tracer=tracer)
 
 
 @dataclass
@@ -115,3 +127,8 @@ class JobResult:
     @property
     def label(self) -> str:
         return self.job.label
+
+    @property
+    def backend(self) -> str:
+        """Name of the simulation backend that produced this result."""
+        return self.job.backend

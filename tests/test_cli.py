@@ -52,6 +52,25 @@ class TestParser:
         assert args.trace_out == "t.json"
         assert args.trace_format == "chrome"
 
+    def test_backend_flag_defaults_to_cycle(self):
+        assert build_parser().parse_args(
+            ["run", "vectorAdd"]).backend == "cycle"
+        assert build_parser().parse_args(
+            ["validate", "--backend", "analytical"]).backend == "analytical"
+
+    def test_cache_subcommand_flags(self):
+        args = build_parser().parse_args(["cache", "clear", "--yes"])
+        assert args.action == "clear" and args.yes
+        assert build_parser().parse_args(["cache", "stats"]).dir is None
+
+    def test_version_flag(self, capsys):
+        from repro import SIM_VERSION, __version__
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out and SIM_VERSION in out
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -102,6 +121,58 @@ class TestCommands:
         assert main(["arch", "--config", str(xml)]) == 0
         out = capsys.readouterr().out
         assert "GT240" in out
+
+    def test_list_shows_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "backends:" in out
+        assert "analytical" in out and "cycle" in out
+
+    def test_run_with_analytical_backend(self, capsys):
+        assert main(["run", "vectorAdd", "--backend", "analytical"]) == 0
+        out = capsys.readouterr().out
+        assert "(analytical backend)" in out
+        assert "chip power" in out
+
+    def test_run_unknown_backend(self, capsys):
+        assert main(["run", "vectorAdd", "--backend", "quantum"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_run_trace_rejected_for_analytical(self, capsys):
+        assert main(["run", "vectorAdd", "--backend", "analytical",
+                     "--trace-interval", "200"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_validate_with_backend(self, capsys):
+        assert main(["validate", "--kernels", "vectorAdd",
+                     "--backend", "analytical"]) == 0
+        assert "avg relative error" in capsys.readouterr().out
+
+    def test_cache_stats_and_clear(self, capsys):
+        # Populate the (test-isolated) cache with one entry.
+        assert main(["run", "vectorAdd"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:  1" in out and "location:" in out
+        assert main(["cache", "clear", "--yes"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:  0" in capsys.readouterr().out
+
+    def test_cache_clear_empty_is_noop(self, capsys):
+        assert main(["cache", "clear", "--yes"]) == 0
+        assert "already empty" in capsys.readouterr().out
+
+    def test_cache_clear_aborts_without_confirmation(self, capsys,
+                                                     monkeypatch):
+        assert main(["run", "vectorAdd"]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr("builtins.input", lambda prompt: "n")
+        assert main(["cache", "clear"]) == 1
+        assert "aborted" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:  1" in capsys.readouterr().out
 
 
 class TestTraceCommands:

@@ -13,13 +13,14 @@ class TestRegistry:
                                         "table4", "table5", "fig4", "fig6",
                                         "microbench", "statmodel",
                                         "divergence", "ablations",
-                                        "powertrace"}
+                                        "powertrace", "backends"}
 
     def test_every_experiment_has_interface(self):
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
-            assert hasattr(module, "main")
             assert hasattr(module, "EXPERIMENT")
+            # The deprecated per-module main() aliases are gone.
+            assert not hasattr(module, "main")
 
     def test_module_map_matches_experiment_registry(self):
         from repro.experiments import all_experiments
@@ -29,10 +30,10 @@ class TestRegistry:
             assert module.EXPERIMENT.name == name
             assert module.EXPERIMENT.description
 
-    def test_main_is_deprecated_alias(self, capsys):
-        from repro.experiments import exp_table2
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            exp_table2.main()
+    def test_module_runner_regenerates_artifact(self, capsys):
+        """`python -m repro.experiments table2` path still works."""
+        from repro.experiments import get_experiment
+        get_experiment("table2").run(echo=True)
         assert "GT240" in capsys.readouterr().out
 
 
