@@ -44,19 +44,21 @@ from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
 from .core.validation import SuiteValidation, validate_suite
 from .power.chip import Chip
 from .power.result import PowerNode, PowerReport
-from .runner import JobResult, ResultCache, SimJob, run_jobs
+from .runner import (JobFailure, JobResult, ResultCache, RunnerError,
+                     SimJob, run_jobs, set_fault_plan)
 from .sim.config import GPUConfig, gt240, gtx580, preset
 from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",
-    "SimJob", "JobResult", "ResultCache", "run_jobs", "SIM_VERSION",
+    "SimJob", "JobResult", "JobFailure", "ResultCache", "RunnerError",
+    "run_jobs", "set_fault_plan", "SIM_VERSION",
     "SimulationBackend", "register_backend", "get_backend",
     "list_backends",
     "ActivityTracer", "ActivityWindow", "TraceSink", "NullSink",

@@ -149,13 +149,14 @@ def compare_backends(config: GPUConfig,
                      backend_a: str = "cycle",
                      backend_b: str = "analytical",
                      jobs: Optional[int] = None, cache="auto",
-                     max_cycles: float = 5e8) -> BackendComparison:
+                     max_cycles: float = 5e8,
+                     progress=None) -> BackendComparison:
     """Run ``kernels`` on two backends and diff activity and power.
 
     Jobs go through :func:`repro.runner.run_jobs`, so ``jobs``/``cache``
-    follow the runner's conventions (environment resolution when
-    omitted) and the two backends' results land under distinct cache
-    keys.
+    /``progress`` follow the runner's conventions (environment
+    resolution when omitted) and the two backends' results land under
+    distinct cache keys.
     """
     from ..runner import SimJob, run_jobs
     # Touch the registry up front so an unknown name fails before any
@@ -166,7 +167,8 @@ def compare_backends(config: GPUConfig,
                        max_cycles=max_cycles)
                 for backend in (backend_a, backend_b)
                 for name in kernels]
-    results = run_jobs(job_list, n_jobs=jobs, cache=cache)
+    results = run_jobs(job_list, n_jobs=jobs, cache=cache,
+                       progress=progress)
     half = len(kernels)
     chip = Chip(config)
     comparisons = []

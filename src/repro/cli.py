@@ -32,7 +32,7 @@ import sys
 from typing import Optional
 
 from .core.gpusimpow import GPUSimPow
-from .runner import ResultCache, SimJob, run_jobs
+from .runner import JobFailure, ResultCache, SimJob, run_jobs
 from .sim.activity import ActivityReport
 from .sim.config import GPUConfig, preset
 from .workloads import all_kernel_launches, benchmark_info, benchmark_names
@@ -46,22 +46,32 @@ def _load_config(args) -> GPUConfig:
 
 
 def _runner_options(args):
-    """(jobs, cache, progress) for the runner-backed subcommands.
+    """(jobs, cache, progress, timeout) for runner-backed subcommands.
 
     The CLI caches by default (``--no-cache`` opts out); progress lines
     go to stderr, and only when a pool is actually in play, so stdout
-    stays machine-parseable.
+    stays machine-parseable.  Failed jobs report too (kind + attempt
+    count), so a watcher of ``(done, total)`` never sees a stalled
+    sweep.
     """
     jobs = getattr(args, "jobs", None)
     cache = None if getattr(args, "no_cache", False) else ResultCache()
+    timeout = getattr(args, "timeout", None)
     progress = None
     if jobs is not None and jobs > 1:
-        def progress(done, total, result):
-            tag = "cached" if result.cached \
-                else f"{result.duration_s:.2f}s"
-            print(f"  [{done}/{total}] {result.label} ({tag})",
+        def progress(done, total, outcome):
+            if isinstance(outcome, JobFailure):
+                tag = (f"FAILED: {outcome.kind} after "
+                       f"{outcome.attempts} attempt(s)")
+            elif outcome.cached:
+                tag = "cached"
+            else:
+                tag = f"{outcome.duration_s:.2f}s"
+                if outcome.attempts > 1:
+                    tag += f", {outcome.attempts} attempts"
+            print(f"  [{done}/{total}] {outcome.label} ({tag})",
                   file=sys.stderr)
-    return jobs, cache, progress
+    return jobs, cache, progress, timeout
 
 
 def _add_runner_args(p) -> None:
@@ -70,6 +80,10 @@ def _add_runner_args(p) -> None:
                         "(default: REPRO_JOBS or serial)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk activity result cache")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-job wall-clock budget; over-budget attempts "
+                        "are killed and retried (default: "
+                        "REPRO_JOB_TIMEOUT or none)")
 
 
 def _add_backend_arg(p) -> None:
@@ -128,12 +142,13 @@ def _cmd_run(args) -> int:
                   f"--trace-interval", file=sys.stderr)
             return 2
     sim = GPUSimPow(config)
-    jobs, cache, progress = _runner_options(args)
+    jobs, cache, progress, timeout = _runner_options(args)
     job, = run_jobs([SimJob(config=config, kernel=args.kernel,
                             launch=launches[args.kernel],
                             trace_interval=args.trace_interval,
                             backend=args.backend)],
-                    n_jobs=jobs, cache=cache, progress=progress)
+                    n_jobs=jobs, cache=cache, progress=progress,
+                    timeout_s=timeout)
     result = sim.run(launches[args.kernel], activity=job.activity,
                      windows=job.windows,
                      trace_interval=args.trace_interval,
@@ -243,9 +258,12 @@ def _cmd_experiments(args) -> int:
         print(f"unknown experiment(s) {unknown}; "
               f"have {sorted(experiments)}", file=sys.stderr)
         return 2
-    from .runner import set_default_cache, set_default_jobs
+    from .runner import (set_default_cache, set_default_jobs,
+                         set_default_timeout)
     if args.jobs is not None:
         set_default_jobs(args.jobs)
+    if args.timeout is not None:
+        set_default_timeout(args.timeout)
     set_default_cache(None if args.no_cache else ResultCache())
     for name in names:
         print(f"===== {name} =====")
@@ -265,22 +283,26 @@ def _cmd_cache(args) -> int:
         print(f"entries:  {stats['entries']}")
         print(f"size:     {stats['bytes']} bytes "
               f"({stats['bytes'] / 1e6:.2f} MB)")
+        print(f"orphans:  {stats['orphans']} interrupted-write temp "
+              f"file(s) ({stats['orphan_bytes']} bytes)")
         return 0
     # clear
     stats = cache.stats()
-    if stats["entries"] == 0:
+    if stats["entries"] == 0 and stats["orphans"] == 0:
         print(f"cache at {stats['location']} is already empty")
         return 0
     if not args.yes:
         prompt = (f"remove {stats['entries']} cached results "
-                  f"({stats['bytes'] / 1e6:.2f} MB) from "
+                  f"({stats['bytes'] / 1e6:.2f} MB) and "
+                  f"{stats['orphans']} orphaned temp file(s) from "
                   f"{stats['location']}? [y/N] ")
         answer = input(prompt).strip().lower()
         if answer not in ("y", "yes"):
             print("aborted")
             return 1
     removed = cache.clear()
-    print(f"removed {removed} entries from {stats['location']}")
+    print(f"removed {removed} entries and {stats['orphans']} orphaned "
+          f"temp file(s) from {stats['location']}")
     return 0
 
 
@@ -289,10 +311,10 @@ def _cmd_validate(args) -> int:
     if _check_backend(args.backend):
         return 2
     names = args.kernels.split(",") if args.kernels else None
-    jobs, cache, progress = _runner_options(args)
+    jobs, cache, progress, timeout = _runner_options(args)
     suite = validate_suite(_load_config(args), kernel_names=names,
                            jobs=jobs, cache=cache, progress=progress,
-                           backend=args.backend)
+                           backend=args.backend, timeout_s=timeout)
     print(f"{suite.gpu}: avg relative error "
           f"{suite.average_relative_error * 100:.1f}%, "
           f"dynamic-only {suite.average_dynamic_error * 100:.1f}%, "

@@ -108,12 +108,13 @@ class ModelEvaluation:
         return float(max(abs(e) for e in self.errors.values()))
 
 
-def _simulate_kernels(config, kernel_names, jobs, cache):
+def _simulate_kernels(config, kernel_names, jobs, cache, progress=None):
     """Activity reports for ``kernel_names``, fanned out via the runner."""
     launches = all_kernel_launches()
     sim_jobs = [SimJob(config=config, kernel=name, launch=launches[name])
                 for name in kernel_names]
-    job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache)
+    job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache,
+                           progress=progress)
     return {name: jr.activity
             for name, jr in zip(kernel_names, job_results)}
 

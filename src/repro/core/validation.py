@@ -114,7 +114,8 @@ def validate_suite(config: GPUConfig,
                    jobs: Optional[int] = None,
                    cache=AUTO,
                    progress=None,
-                   backend: str = "cycle") -> SuiteValidation:
+                   backend: str = "cycle",
+                   timeout_s: Optional[float] = None) -> SuiteValidation:
     """Run the full Fig. 6 comparison for one GPU configuration.
 
     Args:
@@ -122,10 +123,14 @@ def validate_suite(config: GPUConfig,
             runner default, see :func:`repro.runner.resolve_jobs`).
         cache: Activity-result cache policy, passed through to
             :func:`repro.runner.run_jobs`.
-        progress: Optional ``(done, total, result)`` callback, passed
-            through to :func:`repro.runner.run_jobs`.
+        progress: Optional ``(done, total, outcome)`` callback, passed
+            through to :func:`repro.runner.run_jobs` (``outcome`` is a
+            :class:`~repro.runner.JobFailure` for failed jobs).
         backend: Simulation backend for the performance side (the
             virtual-hardware measurement side is unaffected).
+        timeout_s: Per-job wall-clock budget, passed through to
+            :func:`repro.runner.run_jobs` (None = runner default, see
+            :func:`repro.runner.resolve_timeout`).
     """
     launches = all_kernel_launches()
     names = kernel_names or sorted(launches)
@@ -138,7 +143,7 @@ def validate_suite(config: GPUConfig,
                        backend=backend)
                 for name in names]
     job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache,
-                           progress=progress)
+                           progress=progress, timeout_s=timeout_s)
 
     rows: List[KernelValidation] = []
     session = []

@@ -43,7 +43,7 @@ class AblationPoint:
         return _measure([(label, config, kernel)])[0]
 
 
-def _measure(specs, jobs=None, cache=AUTO):
+def _measure(specs, jobs=None, cache=AUTO, progress=None):
     """Simulate ``(label, config, kernel)`` specs in one runner fan-out
     and evaluate the power model on each returned activity report."""
     launches = all_kernel_launches()
@@ -52,7 +52,8 @@ def _measure(specs, jobs=None, cache=AUTO):
                 for label, config, kernel in specs]
     points = []
     for (label, config, kernel), jr in zip(
-            specs, run_jobs(sim_jobs, n_jobs=jobs, cache=cache)):
+            specs, run_jobs(sim_jobs, n_jobs=jobs, cache=cache,
+                            progress=progress)):
         result = GPUSimPow(config).run(launches[kernel],
                                        activity=jr.activity)
         points.append(AblationPoint(

@@ -42,11 +42,15 @@ def run(kernel_names: Optional[List[str]] = None,
         seed: int = 17,
         jobs: Optional[int] = None,
         cache=AUTO,
-        backend: str = "cycle") -> Fig6Result:
+        backend: str = "cycle",
+        progress=None) -> Fig6Result:
     """Run the full Fig. 6 evaluation on both GPUs.
 
     ``backend`` selects the performance model (``repro.backends``); the
     paper's numbers are quoted for the default ``cycle`` backend.
+    ``progress`` follows the runner convention -- failed jobs report a
+    :class:`~repro.runner.JobFailure`, so ``(done, total)`` watchers
+    always converge.
     """
     suites = {}
     for config in (gt240(), gtx580()):
@@ -54,7 +58,8 @@ def run(kernel_names: Optional[List[str]] = None,
                                              kernel_names=kernel_names,
                                              seed=seed,
                                              jobs=jobs, cache=cache,
-                                             backend=backend)
+                                             backend=backend,
+                                             progress=progress)
     return Fig6Result(suites=suites)
 
 

@@ -43,7 +43,8 @@ class Table4Row:
     real_area_mm2: float
 
 
-def run(seed: int = 29, jobs=None, cache=AUTO) -> Dict[str, Table4Row]:
+def run(seed: int = 29, jobs=None, cache=AUTO,
+        progress=None) -> Dict[str, Table4Row]:
     """Regenerate Table IV."""
     launches = all_kernel_launches()
     probe_launch = launches["BlackScholes"]
@@ -54,7 +55,7 @@ def run(seed: int = 29, jobs=None, cache=AUTO) -> Dict[str, Table4Row]:
     # (identical) activity is cached across exp_table4 / exp_fig6 runs.
     probes = run_jobs([SimJob(config=c, kernel="BlackScholes",
                               launch=probe_launch) for c in configs],
-                      n_jobs=jobs, cache=cache)
+                      n_jobs=jobs, cache=cache, progress=progress)
     for config, probe in zip(configs, probes):
         sim = GPUSimPow(config)
         arch = sim.architecture()

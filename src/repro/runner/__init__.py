@@ -4,14 +4,16 @@ Every paper artifact fans out over (GPU config x kernel) pairs; this
 package executes those fan-outs on a process pool and memoises the
 deterministic results on disk:
 
-* :mod:`repro.runner.job` -- picklable :class:`SimJob` descriptors and
-  their :class:`JobResult`\\ s;
-* :mod:`repro.runner.engine` -- :func:`run_jobs`, the pool with a
-  serial fallback, deterministic result ordering and error/progress
-  surfacing;
+* :mod:`repro.runner.job` -- picklable :class:`SimJob` descriptors,
+  their :class:`JobResult`\\ s and the :class:`JobFailure` taxonomy;
+* :mod:`repro.runner.engine` -- :func:`run_jobs`, a supervised pool
+  with per-job timeouts, bounded retries with exponential backoff,
+  worker-crash detection, graceful serial degradation, deterministic
+  result ordering and error/progress surfacing;
 * :mod:`repro.runner.cache` -- :class:`ResultCache`, an on-disk store
   keyed by a stable hash of (config, kernel IR, launch geometry,
-  initial-memory digest, :data:`repro.SIM_VERSION`).
+  initial-memory digest, :data:`repro.SIM_VERSION`), with corrupt
+  entries degrading to misses and orphaned temp files swept.
 
 Quickstart::
 
@@ -26,12 +28,16 @@ Quickstart::
 """
 
 from .cache import ResultCache, config_signature, job_key, launch_signature
-from .engine import (AUTO, RunnerError, resolve_cache, resolve_jobs,
-                     run_jobs, set_default_cache, set_default_jobs)
-from .job import JobResult, SimJob
+from .engine import (AUTO, FAULT_PLAN_ENV, MELTDOWN_AFTER, TIMEOUT_ENV,
+                     RunnerError, resolve_cache, resolve_jobs,
+                     resolve_timeout, run_jobs, set_default_cache,
+                     set_default_jobs, set_default_timeout, set_fault_plan)
+from .job import JobFailure, JobResult, SimJob
 
 __all__ = [
-    "AUTO", "JobResult", "ResultCache", "RunnerError", "SimJob",
+    "AUTO", "FAULT_PLAN_ENV", "JobFailure", "JobResult", "MELTDOWN_AFTER",
+    "ResultCache", "RunnerError", "SimJob", "TIMEOUT_ENV",
     "config_signature", "job_key", "launch_signature", "resolve_cache",
-    "resolve_jobs", "run_jobs", "set_default_cache", "set_default_jobs",
+    "resolve_jobs", "resolve_timeout", "run_jobs", "set_default_cache",
+    "set_default_jobs", "set_default_timeout", "set_fault_plan",
 ]

@@ -33,8 +33,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +46,10 @@ from .job import JobResult, SimJob
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Age (seconds) past which an orphaned ``*.tmp`` write is swept on
+#: cache construction: old enough that no live writer can still own it.
+ORPHAN_MAX_AGE_S = 3600.0
 
 
 def _version_tag() -> str:
@@ -133,7 +138,15 @@ class ResultCache:
       written under an older tag refuse to load even on a key
       collision);
     * :meth:`invalidate` drops one entry, :meth:`clear` drops all;
-    * corrupt or unreadable entries degrade to misses, never to errors.
+    * corrupt or unreadable entries degrade to misses, never to errors
+      -- :meth:`lookup` additionally reports the corruption so the
+      engine can log it, and the broken file is dropped so the fresh
+      result is re-stored cleanly.
+
+    Writes go through ``mkstemp`` + ``os.replace``; a process killed in
+    between leaves an orphaned ``*.tmp`` file.  Construction sweeps
+    orphans older than :data:`ORPHAN_MAX_AGE_S`, :meth:`clear` removes
+    them all, and :meth:`stats`/:meth:`orphans` account for them.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
@@ -144,10 +157,13 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self.sweep_orphans(ORPHAN_MAX_AGE_S)
 
     def __repr__(self) -> str:
         return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses}, stores={self.stores})")
+                f"misses={self.misses}, stores={self.stores}, "
+                f"corrupt={self.corrupt})")
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -156,19 +172,39 @@ class ResultCache:
 
     def get(self, job: SimJob, key: Optional[str] = None) -> Optional[JobResult]:
         """Cached result for ``job``, or None on a miss."""
+        return self.lookup(job, key=key)[0]
+
+    def lookup(self, job: SimJob,
+               key: Optional[str] = None) -> Tuple[Optional[JobResult], bool]:
+        """Like :meth:`get`, but also reports corruption.
+
+        Returns ``(result, corrupt)``: ``corrupt`` is True when an
+        entry existed but failed to load (truncated file, bad JSON,
+        missing/unknown counters) -- as opposed to a plain miss or an
+        expected invalidation (stale simulator version, different
+        backend).  A corrupt entry is unlinked so the re-simulated
+        result is re-stored cleanly.
+        """
         if key is None:
             key = job_key(job)
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("sim_version") != _version_tag():
-                raise ValueError("stale simulator version")
+                raw = handle.read()
+        except OSError:
+            self.misses += 1
+            return None, False
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not a JSON object")
             # Entries written before backends existed carry no backend
             # field; they are all cycle-backend results, so only a
             # mismatch with an explicit different backend is stale.
-            if entry.get("backend", "cycle") != job.backend:
-                raise ValueError("entry from a different backend")
+            if (entry.get("sim_version") != _version_tag()
+                    or entry.get("backend", "cycle") != job.backend):
+                self.misses += 1
+                return None, False
             activity = _report_from_dict(entry["activity"])
             cycles = float(entry["cycles"])
             windows = None
@@ -178,12 +214,17 @@ class ResultCache:
                 # the interval) degrades to a miss.
                 from ..telemetry import windows_from_dicts
                 windows = windows_from_dicts(entry["windows"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             self.misses += 1
-            return None
+            self.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None, True
         self.hits += 1
         return JobResult(job=job, activity=activity, cycles=cycles,
-                         cached=True, windows=windows)
+                         cached=True, windows=windows), False
 
     def put(self, job: SimJob, activity: ActivityReport, cycles: float,
             key: Optional[str] = None,
@@ -227,7 +268,8 @@ class ResultCache:
             return False
 
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry (and orphaned temp files); returns how many
+        entries were removed."""
         removed = 0
         if not self.root.exists():
             return removed
@@ -237,6 +279,7 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self.sweep_orphans(max_age_s=0.0)
         return removed
 
     def entries(self) -> int:
@@ -245,10 +288,36 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def orphans(self) -> List[Path]:
+        """Orphaned ``*.tmp`` files left by interrupted writes."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.tmp"))
+
+    def sweep_orphans(self, max_age_s: float = ORPHAN_MAX_AGE_S) -> int:
+        """Remove orphaned temp files older than ``max_age_s`` seconds.
+
+        The age guard keeps a sweep from racing a concurrent writer's
+        in-flight temp file; ``max_age_s=0`` removes them all.
+        """
+        removed = 0
+        cutoff = time.time() - max(0.0, float(max_age_s))
+        for path in self.orphans():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
     def stats(self) -> Dict[str, Any]:
-        """Entry count, on-disk bytes and location (for ``cache stats``)."""
+        """Entry count, on-disk bytes, orphaned temp files and location
+        (for ``cache stats``)."""
         entries = 0
         size = 0
+        orphan_files = 0
+        orphan_bytes = 0
         if self.root.exists():
             for path in self.root.glob("*/*.json"):
                 entries += 1
@@ -256,5 +325,12 @@ class ResultCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
+            for path in self.orphans():
+                orphan_files += 1
+                try:
+                    orphan_bytes += path.stat().st_size
+                except OSError:
+                    pass
         return {"location": str(self.root), "entries": entries,
-                "bytes": size}
+                "bytes": size, "orphans": orphan_files,
+                "orphan_bytes": orphan_bytes}

@@ -1,4 +1,4 @@
-"""The parallel simulation job engine.
+"""The fault-tolerant parallel simulation job engine.
 
 :func:`run_jobs` executes a list of :class:`SimJob` descriptors and
 returns their :class:`JobResult`\\ s *in job order*, regardless of how
@@ -11,47 +11,113 @@ profiling).
 Workers receive only the picklable :class:`SimJob` and construct the
 ``GPU`` themselves; they ship back plain counter dicts.  Both transports
 (pickle for the pipe, repr-JSON for the cache) round-trip float64
-exactly, so serial, pooled and cached execution are bit-identical.
+exactly, so serial, pooled, cached -- and fault-retried -- execution are
+bit-identical.
+
+Fault tolerance.  Each pooled job runs in its own supervised worker
+process, so the engine observes every way an attempt can end:
+
+* a clean result (or a worker-side exception, shipped back as a
+  traceback -- deterministic, never retried);
+* a **worker crash** (OOM kill, segfault, signal): the worker dies
+  without reporting and the supervisor sees EOF on its pipe;
+* a **timeout**: the attempt outlives its wall-clock budget
+  (``SimJob.timeout_s``, ``run_jobs(timeout_s=...)`` or
+  ``$REPRO_JOB_TIMEOUT``) and the supervisor kills it.
+
+Crashes and timeouts are *transient*: the job is retried with
+exponential backoff, up to ``retries`` extra attempts.  Exhaustion (or a
+worker-side exception) becomes a :class:`JobFailure` aggregated on
+:class:`RunnerError`.  When the pool itself stops making progress --
+process creation fails, or :data:`MELTDOWN_AFTER` consecutive worker
+crashes land without a single success -- the engine degrades gracefully:
+surviving workers are stopped and the remaining misses finish serially
+in the calling process instead of aborting the sweep.
+
+Deterministic fault injection for tests: :func:`set_fault_plan` (or a
+JSON ``$REPRO_FAULT_PLAN``) maps job labels to per-attempt actions
+(``kill``, ``exc``, ``delay:<seconds>``, ``corrupt``, ``ok``).
 
 Defaults can be configured process-wide (used by the CLI and by
 ``python -m repro.experiments``) or via environment variables:
 
 * ``REPRO_JOBS`` -- default worker count when a call passes ``None``;
 * ``REPRO_CACHE`` -- ``1``/``on`` enables the default on-disk cache,
-  ``0``/``off`` disables it, any other value is a cache directory.
+  ``0``/``off`` disables it, any other value is a cache directory;
+* ``REPRO_JOB_TIMEOUT`` -- default per-job wall-clock budget (seconds).
 """
 
 from __future__ import annotations
 
+import itertools
+import json
 import multiprocessing
 import os
+import signal
 import time
 import traceback
-from typing import Callable, List, Optional, Sequence, Union
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import (Callable, Deque, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 from .cache import ResultCache, job_key
-from .job import JobResult, SimJob
+from .job import JobFailure, JobResult, SimJob
 
 #: Sentinel: "resolve the cache from configured/environment defaults".
 AUTO = "auto"
 
-ProgressFn = Callable[[int, int, JobResult], None]
+#: Environment variable: default per-job wall-clock timeout in seconds.
+TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Environment variable: JSON fault plan for deterministic fault
+#: injection (``{"label": ["kill", "delay:2", "ok"], ...}``).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Consecutive worker crashes (with no success in between) after which
+#: the engine stops trusting the pool and finishes serially.
+MELTDOWN_AFTER = 4
+
+#: Failure kinds the engine retries.
+TRANSIENT_KINDS = ("timeout", "worker-crash")
+
+ProgressFn = Callable[[int, int, Union[JobResult, JobFailure]], None]
 
 _default_jobs: Optional[int] = None
 _default_cache: Union[ResultCache, None, str] = AUTO
+_default_timeout: Optional[float] = None
+_fault_plan: Optional[Dict[str, List[str]]] = None
+_warned_env: set = set()
 
 
 class RunnerError(RuntimeError):
-    """One or more jobs failed; carries every failure, not just the first."""
+    """One or more jobs failed; carries every failure, not just the first.
 
-    def __init__(self, failures: List[tuple]) -> None:
-        self.failures = failures
-        lines = [f"{len(failures)} simulation job(s) failed:"]
-        for label, tb in failures:
-            last = tb.strip().splitlines()[-1] if tb else "unknown error"
-            lines.append(f"  {label}: {last}")
-        lines.append("(first traceback)")
-        lines.append(failures[0][1])
+    ``failures`` is a list of :class:`JobFailure` records (legacy
+    ``(label, traceback)`` tuples are normalised on construction).
+    """
+
+    def __init__(self, failures: Sequence) -> None:
+        self.failures: List[JobFailure] = [
+            f if isinstance(f, JobFailure)
+            else JobFailure(label=f[0], kind="exception",
+                            traceback=f[1] or "")
+            for f in failures]
+        if not self.failures:
+            # Guarded: an empty failure list is a caller bug, but the
+            # constructor must not blow up while reporting it.
+            super().__init__("RunnerError raised with no recorded failures")
+            return
+        lines = [f"{len(self.failures)} simulation job(s) failed:"]
+        for f in self.failures:
+            lines.append(f"  {f.label}: [{f.kind}, "
+                         f"{f.attempts} attempt(s)] {f.summary}")
+        first = self.failures[0]
+        if first.traceback:
+            lines.append("(first traceback)")
+            lines.append(first.traceback)
         super().__init__("\n".join(lines))
 
 
@@ -74,6 +140,44 @@ def set_default_cache(cache: Union[ResultCache, None, str]) -> None:
     _default_cache = cache
 
 
+def set_default_timeout(timeout_s: Optional[float]) -> None:
+    """Set the per-job timeout used when ``run_jobs(timeout_s=None)``.
+
+    ``None`` clears the configured default (the environment's
+    ``$REPRO_JOB_TIMEOUT`` then applies again).
+    """
+    global _default_timeout
+    if timeout_s is not None and not float(timeout_s) > 0:
+        raise ValueError(f"timeout must be positive, got {timeout_s!r}")
+    _default_timeout = None if timeout_s is None else float(timeout_s)
+
+
+def set_fault_plan(plan: Optional[Dict[str, List[str]]]) -> None:
+    """Install a deterministic fault plan (``None`` clears it).
+
+    The plan maps job labels to a list of per-attempt actions: attempt
+    ``n`` of a job looks up ``plan[label][n - 1]``; attempts beyond the
+    list run normally.  Actions: ``"kill"`` (SIGKILL the pool worker
+    mid-job; ignored for in-process execution, where there is no worker
+    to die), ``"exc"`` (raise inside the attempt), ``"delay:<seconds>"``
+    (sleep before simulating -- pair with a timeout), ``"corrupt"``
+    (truncate the job's cache entry before lookup), ``"ok"``/``None``
+    (run normally).  A configured plan takes precedence over
+    ``$REPRO_FAULT_PLAN``.
+    """
+    global _fault_plan
+    _fault_plan = dict(plan) if plan else None
+
+
+def _warn_env_once(var: str, value: str, fallback: str) -> None:
+    """One warning per process per misconfigured environment variable."""
+    if var in _warned_env:
+        return
+    _warned_env.add(var)
+    warnings.warn(f"ignoring invalid {var}={value!r}; using {fallback}",
+                  RuntimeWarning, stacklevel=3)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Effective worker count: explicit arg > configured > env > 1."""
     if jobs is not None:
@@ -85,8 +189,29 @@ def resolve_jobs(jobs: Optional[int]) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            _warn_env_once("REPRO_JOBS", env, "1 worker")
     return 1
+
+
+def resolve_timeout(timeout_s: Optional[float] = None) -> Optional[float]:
+    """Effective per-job timeout: explicit arg > configured > env > none."""
+    if timeout_s is not None:
+        timeout_s = float(timeout_s)
+        if not timeout_s > 0:
+            raise ValueError(f"timeout must be positive, got {timeout_s!r}")
+        return timeout_s
+    if _default_timeout is not None:
+        return _default_timeout
+    env = os.environ.get(TIMEOUT_ENV, "").strip()
+    if env:
+        try:
+            value = float(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+        _warn_env_once(TIMEOUT_ENV, env, "no timeout")
+    return None
 
 
 def resolve_cache(cache: Union[ResultCache, None, str]) -> Optional[ResultCache]:
@@ -105,20 +230,70 @@ def resolve_cache(cache: Union[ResultCache, None, str]) -> Optional[ResultCache]
     return ResultCache(env)
 
 
+# -- fault injection -----------------------------------------------------------
+
+
+class _InjectedFault(RuntimeError):
+    """Raised by the ``exc`` fault action (deterministic test failures)."""
+
+
+def _resolve_fault_plan() -> Dict[str, List[str]]:
+    if _fault_plan is not None:
+        return _fault_plan
+    env = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not env:
+        return {}
+    try:
+        plan = json.loads(env)
+        if not isinstance(plan, dict):
+            raise ValueError("fault plan must be a JSON object")
+        return plan
+    except ValueError:
+        _warn_env_once(FAULT_PLAN_ENV, env, "no fault plan")
+        return {}
+
+
+def _fault_for(plan: Dict[str, List[str]], label: str,
+               attempt: int) -> Optional[str]:
+    """The action for ``label``'s ``attempt`` (1-based), or None."""
+    actions = plan.get(label)
+    if not actions or attempt > len(actions):
+        return None
+    action = actions[attempt - 1]
+    return None if action in (None, "", "ok") else str(action)
+
+
+def _apply_fault(fault: Optional[str], in_process: bool) -> None:
+    """Execute one fault action at the start of an attempt."""
+    if fault is None or fault == "corrupt":
+        return  # "corrupt" is applied parent-side, at cache lookup
+    if fault == "kill":
+        if not in_process:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return  # a worker-death fault is meaningless without a worker
+    if fault.startswith("delay:"):
+        time.sleep(float(fault.split(":", 1)[1]))
+        return
+    if fault == "exc":
+        raise _InjectedFault("injected failure (fault plan)")
+    raise ValueError(f"unknown fault action {fault!r}")
+
+
 # -- worker side ---------------------------------------------------------------
 
 
 def _execute_job(payload):
-    """Pool worker: run one job, ship back plain data (never raises).
+    """Run one job attempt, ship back plain data (never raises).
 
-    The transport tuple is ``(index, activity_dict, windows_dicts,
-    cycles, duration, pid, error)`` -- ``windows_dicts`` is None for
-    untraced jobs and the :func:`~repro.telemetry.windows_to_dicts`
-    form for traced ones.
+    ``payload`` is ``(index, job, fault, in_process)``; the transport
+    tuple is ``(index, activity_dict, windows_dicts, cycles, duration,
+    pid, error)`` -- ``windows_dicts`` is None for untraced jobs and the
+    :func:`~repro.telemetry.windows_to_dicts` form for traced ones.
     """
-    index, job = payload
+    index, job, fault, in_process = payload
     start = time.perf_counter()
     try:
+        _apply_fault(fault, in_process)
         out = job.execute()
         windows = None
         if out.windows is not None:
@@ -131,11 +306,32 @@ def _execute_job(payload):
                 os.getpid(), traceback.format_exc())
 
 
+def _worker_main(conn, payload) -> None:
+    """Supervised worker body: one attempt, one message, exit."""
+    out = _execute_job(payload)
+    try:
+        conn.send(out)
+    finally:
+        conn.close()
+
+
 def _pool_context():
     """Fork where available (cheap, Linux); spawn otherwise."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class _Running:
+    """Supervisor bookkeeping for one in-flight attempt."""
+
+    index: int
+    attempt: int
+    proc: "multiprocessing.process.BaseProcess"
+    conn: "connection.Connection"
+    started: float
+    deadline: Optional[float]
 
 
 # -- the engine ---------------------------------------------------------------
@@ -144,7 +340,10 @@ def _pool_context():
 def run_jobs(jobs: Sequence[SimJob],
              n_jobs: Optional[int] = None,
              cache: Union[ResultCache, None, str] = AUTO,
-             progress: Optional[ProgressFn] = None) -> List[JobResult]:
+             progress: Optional[ProgressFn] = None,
+             timeout_s: Optional[float] = None,
+             retries: int = 2,
+             backoff_s: float = 0.25) -> List[JobResult]:
     """Execute ``jobs``; results come back in job order.
 
     Args:
@@ -154,80 +353,306 @@ def run_jobs(jobs: Sequence[SimJob],
         cache: A :class:`ResultCache`, a cache directory path, ``None``
             (disabled), or :data:`AUTO` (configured/environment
             default).  Hits skip simulation; misses are stored after.
-        progress: Optional callback ``(done, total, result)`` invoked as
-            each job completes (completion order, not job order).
+        progress: Optional callback ``(done, total, outcome)`` invoked
+            as each job reaches a terminal state (completion order, not
+            job order).  ``outcome`` is the :class:`JobResult` for
+            successes and the terminal :class:`JobFailure` for failed
+            jobs -- every job reports exactly once, so ``done`` always
+            reaches ``total``.
+        timeout_s: Default per-job wall-clock budget in seconds;
+            ``None`` resolves through :func:`resolve_timeout`
+            (``$REPRO_JOB_TIMEOUT``).  A job's own ``timeout_s`` takes
+            precedence.  Pooled attempts are killed at the deadline;
+            serial attempts are checked after the fact (an in-process
+            simulation cannot be preempted).
+        retries: Extra attempts granted on *transient* failures (worker
+            crash, timeout).  Worker-side exceptions are deterministic
+            and never retried.
+        backoff_s: Base of the exponential retry backoff; attempt ``n``
+            waits ``backoff_s * 2**(n - 1)`` seconds before retrying.
 
     Raises:
-        RunnerError: aggregating every failed job's traceback.
+        RunnerError: aggregating a :class:`JobFailure` per failed job.
     """
     jobs = list(jobs)
     if not jobs:
         return []
     workers = resolve_jobs(n_jobs)
     store = resolve_cache(cache)
+    default_timeout = resolve_timeout(timeout_s)
+    retries = max(0, int(retries))
+    backoff_s = max(0.0, float(backoff_s))
+    plan = _resolve_fault_plan()
 
     total = len(jobs)
     done = 0
     results: List[Optional[JobResult]] = [None] * total
     keys: List[Optional[str]] = [None] * total
     misses: List[int] = []
+    failures: List[JobFailure] = []
+    fault_log: Dict[int, List[JobFailure]] = {i: [] for i in range(total)}
+    durations: Dict[int, List[float]] = {i: [] for i in range(total)}
 
-    def finish(index: int, result: JobResult) -> None:
+    def job_timeout(index: int) -> Optional[float]:
+        limit = jobs[index].timeout_s
+        return limit if limit is not None else default_timeout
+
+    def backoff(attempt: int) -> float:
+        return backoff_s * (2 ** (attempt - 1))
+
+    def notify(outcome: Union[JobResult, JobFailure]) -> None:
         nonlocal done
-        results[index] = result
         done += 1
         if progress is not None:
-            progress(done, total, result)
+            progress(done, total, outcome)
 
-    # Resolve cache hits up front, in the calling process.
-    for i, job in enumerate(jobs):
-        if store is not None:
-            keys[i] = job_key(job)
-            hit = store.get(job, key=keys[i])
-            if hit is not None:
-                finish(i, hit)
-                continue
-        misses.append(i)
+    def add_event(index: int, kind: str, message: str = "",
+                  tb: str = "", duration: Optional[float] = None) -> JobFailure:
+        """Record one failure event; returns it (with attempt history)."""
+        if duration is not None:
+            durations[index].append(duration)
+        event = JobFailure(label=jobs[index].label, kind=kind,
+                           message=message, traceback=tb,
+                           attempts=len(durations[index]),
+                           attempt_durations=list(durations[index]))
+        fault_log[index].append(event)
+        return event
 
-    failures: List[tuple] = []
-
-    def record(index, act_dict, windows_dicts, cycles, duration, pid,
-               error) -> None:
+    def record_success(index: int, act_dict, windows_dicts, cycles: float,
+                       duration: float, pid: int) -> None:
         job = jobs[index]
-        if error is not None:
-            failures.append((job.label, error))
-            return
         from .cache import _report_from_dict
         activity = _report_from_dict(act_dict)
         windows = None
         if windows_dicts is not None:
             from ..telemetry import windows_from_dicts
             windows = windows_from_dicts(windows_dicts)
-        if store is not None:
+        if store is not None and keys[index] is not None:
             store.put(job, activity, cycles, key=keys[index],
                       windows=windows)
-        finish(index, JobResult(job=job, activity=activity, cycles=cycles,
-                                cached=False, duration_s=duration,
-                                worker=pid, windows=windows))
+        result = JobResult(job=job, activity=activity, cycles=cycles,
+                           cached=False, duration_s=duration, worker=pid,
+                           windows=windows,
+                           attempts=len(durations[index]) + 1,
+                           faults=list(fault_log[index]))
+        results[index] = result
+        notify(result)
+
+    def record_failure(failure: JobFailure) -> None:
+        failures.append(failure)
+        notify(failure)
+
+    # Resolve cache hits up front, in the calling process.  A corrupt
+    # entry degrades to a miss (the simulation re-runs and re-stores),
+    # recorded as a cache-corrupt fault on the eventual result.
+    for i, job in enumerate(jobs):
+        if store is not None:
+            try:
+                keys[i] = job_key(job)
+            except Exception:  # noqa: BLE001 -- the attempt reports it
+                keys[i] = None  # the worker will fail with a clean traceback
+            if keys[i] is not None:
+                if _fault_for(plan, job.label, 1) == "corrupt":
+                    path = store.path_for(keys[i])
+                    if path.exists():
+                        path.write_text("{corrupt", encoding="utf-8")
+                hit, corrupt = store.lookup(job, key=keys[i])
+                if corrupt:
+                    add_event(i, "cache-corrupt",
+                              message="corrupt cache entry dropped; "
+                                      "re-simulating")
+                if hit is not None:
+                    hit.faults = list(fault_log[i])
+                    results[i] = hit
+                    notify(hit)
+                    continue
+        misses.append(i)
+
+    def run_serial(queue: Deque[Tuple[int, int]], fail_fast: bool) -> None:
+        """In-process executor (serial mode and pool degradation).
+
+        Timeouts cannot preempt an in-process simulation, so they are
+        enforced after the fact: an over-budget attempt is discarded and
+        retried exactly like a pooled timeout.  ``kill`` faults are
+        skipped (there is no worker process to die).
+        """
+        while queue:
+            index, attempt = queue.popleft()
+            fault = _fault_for(plan, jobs[index].label, attempt)
+            out = _execute_job((index, jobs[index], fault, True))
+            _, act, win, cycles, duration, _, error = out
+            limit = job_timeout(index)
+            if error is not None:
+                record_failure(add_event(index, "exception", tb=error,
+                                         duration=duration))
+                if fail_fast:
+                    # Serial semantics: fail fast, like a plain loop.
+                    raise RunnerError(failures)
+            elif limit is not None and duration > limit:
+                event = add_event(
+                    index, "timeout",
+                    message=f"attempt {attempt} took {duration:.3g}s "
+                            f"(budget {limit:.3g}s)",
+                    duration=duration)
+                if attempt > retries:
+                    record_failure(event)
+                    if fail_fast:
+                        raise RunnerError(failures)
+                else:
+                    time.sleep(backoff(attempt))
+                    queue.appendleft((index, attempt + 1))
+            else:
+                record_success(index, act, win, cycles, duration, -1)
+
+    def run_pool(queue: Deque[Tuple[int, int]]) -> bool:
+        """Supervised pool executor; False means "degrade to serial".
+
+        Each attempt gets its own worker process and pipe, so a SIGKILL
+        surfaces as EOF/sentinel instead of hanging the sweep, and a
+        timeout is enforced by killing exactly that worker.  On return
+        ``False``, ``queue`` holds every unfinished (index, attempt).
+        """
+        nonlocal_state = {"consecutive_crashes": 0}
+        ctx = _pool_context()
+        running: Dict[int, _Running] = {}
+        hold: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
+        task_ids = itertools.count()
+
+        def reap(task_id: int) -> _Running:
+            task = running.pop(task_id)
+            try:
+                task.conn.close()
+            except OSError:
+                pass
+            task.proc.join()
+            return task
+
+        def abandon() -> bool:
+            """Stop the pool, requeue in-flight work, signal degrade."""
+            for task_id in list(running):
+                task = running[task_id]
+                task.proc.kill()
+                task = reap(task_id)
+                queue.append((task.index, task.attempt))
+            for _, index, attempt in hold:
+                queue.append((index, attempt))
+            hold.clear()
+            return False
+
+        def transient(task: _Running, event: JobFailure) -> None:
+            if task.attempt > retries:
+                record_failure(event)
+            else:
+                hold.append((time.monotonic() + backoff(task.attempt),
+                             task.index, task.attempt + 1))
+
+        try:
+            while queue or running or hold:
+                now = time.monotonic()
+                for item in sorted(hold):
+                    if item[0] <= now:
+                        hold.remove(item)
+                        queue.append((item[1], item[2]))
+                while queue and len(running) < workers:
+                    index, attempt = queue.popleft()
+                    fault = _fault_for(plan, jobs[index].label, attempt)
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, (index, jobs[index], fault, False)),
+                        daemon=True)
+                    try:
+                        proc.start()
+                    except OSError:
+                        # Pool-level failure (fork/spawn refused):
+                        # degrade rather than abort the sweep.
+                        parent_conn.close()
+                        child_conn.close()
+                        queue.appendleft((index, attempt))
+                        return abandon()
+                    child_conn.close()
+                    limit = job_timeout(index)
+                    started = time.monotonic()
+                    running[next(task_ids)] = _Running(
+                        index=index, attempt=attempt, proc=proc,
+                        conn=parent_conn, started=started,
+                        deadline=None if limit is None else started + limit)
+                if not running:
+                    if hold:
+                        time.sleep(max(0.0, min(h[0] for h in hold) - now))
+                    continue
+                tick = 0.05
+                deadlines = [t.deadline for t in running.values()
+                             if t.deadline is not None]
+                if deadlines:
+                    tick = min(tick, max(0.0, min(deadlines) - now))
+                if hold:
+                    tick = min(tick, max(0.0, min(h[0] for h in hold) - now))
+                waitables = []
+                for task in running.values():
+                    waitables.append(task.conn)
+                    waitables.append(task.proc.sentinel)
+                connection.wait(waitables, tick)
+                now = time.monotonic()
+                for task_id, task in list(running.items()):
+                    out = None
+                    try:
+                        if task.conn.poll():
+                            out = task.conn.recv()
+                    except (EOFError, OSError):
+                        out = None
+                    if out is not None:
+                        reap(task_id)
+                        _, act, win, cycles, duration, pid, error = out
+                        if error is not None:
+                            record_failure(add_event(
+                                task.index, "exception", tb=error,
+                                duration=duration))
+                        else:
+                            record_success(task.index, act, win, cycles,
+                                           duration, pid)
+                        nonlocal_state["consecutive_crashes"] = 0
+                    elif not task.proc.is_alive():
+                        exitcode = task.proc.exitcode
+                        reap(task_id)
+                        transient(task, add_event(
+                            task.index, "worker-crash",
+                            message=f"worker died with exit code {exitcode} "
+                                    f"on attempt {task.attempt}",
+                            duration=now - task.started))
+                        nonlocal_state["consecutive_crashes"] += 1
+                        if nonlocal_state["consecutive_crashes"] >= \
+                                MELTDOWN_AFTER:
+                            return abandon()
+                    elif task.deadline is not None and now >= task.deadline:
+                        task.proc.kill()
+                        reap(task_id)
+                        transient(task, add_event(
+                            task.index, "timeout",
+                            message=f"attempt {task.attempt} exceeded "
+                                    f"{job_timeout(task.index):.3g}s; "
+                                    f"worker killed",
+                            duration=now - task.started))
+            return True
+        except BaseException:
+            # Never leak workers, whatever interrupts the supervisor.
+            for task_id in list(running):
+                running[task_id].proc.kill()
+                reap(task_id)
+            raise
 
     workers = min(workers, len(misses)) if misses else 1
+    queue: Deque[Tuple[int, int]] = deque((i, 1) for i in misses)
     if workers <= 1:
-        # Serial fallback: run in-process (still through the same
-        # dict transport so all three paths are byte-identical).
-        for index in misses:
-            out = _execute_job((index, jobs[index]))
-            record(*out[:5], -1, out[6])
-            if out[6] is not None:
-                # Serial semantics: fail fast, like a plain loop would.
-                raise RunnerError(failures)
+        run_serial(queue, fail_fast=True)
     else:
-        ctx = _pool_context()
-        payloads = [(i, jobs[i]) for i in misses]
-        with ctx.Pool(processes=workers) as pool:
-            for out in pool.imap_unordered(_execute_job, payloads):
-                record(*out)
-        if failures:
-            raise RunnerError(failures)
+        if not run_pool(queue):
+            # Graceful degradation: the pool melted down (repeated
+            # worker crashes or unspawnable workers); finish the
+            # remaining misses serially instead of aborting the sweep.
+            run_serial(queue, fail_fast=False)
+    if failures:
+        raise RunnerError(failures)
 
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]

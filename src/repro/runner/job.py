@@ -24,6 +24,49 @@ if TYPE_CHECKING:
 
 
 @dataclass
+class JobFailure:
+    """One job's failure record, typed by what actually went wrong.
+
+    Attributes:
+        label: The failing job's display label.
+        kind: One of ``"exception"`` (the simulation raised -- treated
+            as deterministic, never retried), ``"timeout"`` (an attempt
+            exceeded its wall-clock budget), ``"worker-crash"`` (a pool
+            worker died without reporting -- OOM kill, segfault,
+            signal), or ``"cache-corrupt"`` (a stored entry failed to
+            load and was dropped; informational, the job re-simulates).
+        message: Short human-readable description.
+        traceback: Full worker-side traceback, when one exists.
+        attempts: How many execution attempts had been made when this
+            failure was recorded (``0`` for ``cache-corrupt``, which
+            happens before any attempt).
+        attempt_durations: Wall-clock seconds of every attempt so far,
+            in attempt order.
+    """
+
+    label: str
+    kind: str
+    message: str = ""
+    traceback: str = ""
+    attempts: int = 1
+    attempt_durations: List[float] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        """One-line description for error aggregation."""
+        if self.message:
+            return self.message
+        last = self.traceback.strip().splitlines()[-1] if self.traceback \
+            else ""
+        return last or "unknown error"
+
+    @property
+    def transient(self) -> bool:
+        """Whether this failure kind is retried by the engine."""
+        return self.kind in ("timeout", "worker-crash")
+
+
+@dataclass
 class SimJob:
     """One simulation to run: a GPU configuration plus a kernel launch.
 
@@ -43,6 +86,10 @@ class SimJob:
         backend: Simulation backend name (``repro.backends`` registry).
             Non-default backends enter the cache key, so each backend's
             results are distinct artifacts.
+        timeout_s: Per-job wall-clock budget in seconds, overriding the
+            engine-wide default (``run_jobs(timeout_s=...)`` /
+            ``$REPRO_JOB_TIMEOUT``).  Execution policy, not a simulation
+            input -- deliberately *not* part of the cache key.
     """
 
     config: GPUConfig
@@ -52,6 +99,7 @@ class SimJob:
     tag: str = ""
     trace_interval: Optional[float] = None
     backend: str = "cycle"
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kernel is None and self.launch is None:
@@ -61,6 +109,9 @@ class SimJob:
                 f"trace_interval must be positive, got {self.trace_interval!r}")
         if not self.backend:
             raise ValueError("SimJob.backend must be a backend name")
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ValueError(
+                f"timeout_s must be positive, got {self.timeout_s!r}")
 
     @property
     def label(self) -> str:
@@ -113,6 +164,11 @@ class JobResult:
     image, which stays worker-side so results are cheap to ship and to
     cache.  ``windows`` holds the telemetry activity windows for traced
     jobs (``trace_interval`` set) and is ``None`` otherwise.
+
+    ``attempts`` counts execution attempts (1 for a clean first-try
+    run); ``faults`` records every :class:`JobFailure` the engine
+    overcame on the way to this result -- transient failures that were
+    retried, and corrupt cache entries that degraded to misses.
     """
 
     job: SimJob
@@ -123,6 +179,8 @@ class JobResult:
     worker: int = -1  # -1: ran in the calling process
     windows: Optional[List["ActivityWindow"]] = field(default=None,
                                                       repr=False)
+    attempts: int = 1
+    faults: List[JobFailure] = field(default_factory=list, repr=False)
 
     @property
     def label(self) -> str:

@@ -1,10 +1,13 @@
 """Determinism regressions for the runner and the vectorized hot path.
 
-Two invariants the runner's correctness rests on:
+Three invariants the runner's correctness rests on:
 
 * serial, pooled and cached execution of the same jobs produce
   field-by-field identical activity reports (pickle and repr-JSON both
   round-trip float64 exactly);
+* fault-retried execution (a killed worker, a timed-out attempt) lands
+  on exactly the same numbers -- a retry is a clean re-run, never a
+  perturbation;
 * the numpy-vectorised functional execution computes exactly what a
   per-lane scalar interpreter computes -- same counters, same final
   memory image.
@@ -15,7 +18,7 @@ from dataclasses import fields
 import numpy as np
 import pytest
 
-from repro.runner import ResultCache, SimJob, run_jobs
+from repro.runner import ResultCache, SimJob, run_jobs, set_fault_plan
 from repro.sim import GPU, gt240
 from repro.sim.activity import ActivityReport
 from repro.sim.functional_ref import execute_alu_reference
@@ -71,6 +74,51 @@ class TestExecutionPathEquivalence:
                     getattr(s.activity, f.name), \
                     f"tracing perturbs {f.name} for {s.label}"
             assert t.cycles == s.cycles
+
+
+class TestRetryPathEquivalence:
+    """A fault-retried execution is a fourth path that must match the
+    other three bit for bit."""
+
+    @pytest.fixture(autouse=True)
+    def clear_plan(self):
+        yield
+        set_fault_plan(None)
+
+    @pytest.fixture(scope="class")
+    def serial(self, launches):
+        jobs = [SimJob(config=gt240(), kernel=n, launch=launches[n])
+                for n in SUITE]
+        return run_jobs(jobs, n_jobs=1, cache=None)
+
+    def test_killed_and_retried_matches_serial(self, serial, launches):
+        jobs = [SimJob(config=gt240(), kernel=n, launch=launches[n])
+                for n in SUITE]
+        # Kill the first pooled attempt of every job; the sweep must
+        # recover and land on the exact same counters.
+        set_fault_plan({job.label: ["kill"] for job in jobs})
+        retried = run_jobs(jobs, n_jobs=3, cache=None, backoff_s=0.0)
+        for s, r in zip(serial, retried):
+            assert r.attempts == 2, r.label
+            for f in fields(ActivityReport):
+                assert getattr(r.activity, f.name) == \
+                    getattr(s.activity, f.name), \
+                    f"retry diverges on {f.name} for {s.label}"
+                assert type(getattr(r.activity, f.name)) is \
+                    type(getattr(s.activity, f.name))
+            assert r.cycles == s.cycles
+
+    def test_timed_out_and_retried_matches_serial(self, serial, launches):
+        name = SUITE[0]
+        job = SimJob(config=gt240(), kernel=name, launch=launches[name])
+        set_fault_plan({job.label: ["delay:30"]})
+        retried, = run_jobs([job, SimJob(config=gt240(), kernel=SUITE[1],
+                                         launch=launches[SUITE[1]])],
+                            n_jobs=2, cache=None, timeout_s=3.0,
+                            backoff_s=0.0)[:1]
+        assert retried.attempts == 2
+        assert retried.activity.as_dict() == serial[0].activity.as_dict()
+        assert retried.cycles == serial[0].cycles
 
 
 class TestVectorizedVsScalarReference:
