@@ -15,6 +15,7 @@ Quickstart::
 Package map:
 
 * :mod:`repro.isa` -- mini SIMT instruction set + kernel builder
+* :mod:`repro.analysis` -- static kernel verifier, race detector, lints
 * :mod:`repro.sim` -- cycle-level GPGPU performance simulator
 * :mod:`repro.power` -- GPGPU-Pow hierarchical power model
 * :mod:`repro.hw` -- virtual hardware + measurement testbed
@@ -38,6 +39,9 @@ Package map:
 #: stale entries can never silently poison validation numbers.
 SIM_VERSION = "2013.1"
 
+from .analysis import (AnalysisResult, Diagnostic, LaunchShape, Severity,
+                       analyze_kernel, analyze_launch,
+                       compare_static_dynamic)
 from .backends import (SimulationBackend, get_backend, list_backends,
                        register_backend)
 from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
@@ -51,9 +55,11 @@ from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AnalysisResult", "Diagnostic", "LaunchShape", "Severity",
+    "analyze_kernel", "analyze_launch", "compare_static_dynamic",
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",

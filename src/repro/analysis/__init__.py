@@ -1,0 +1,66 @@
+"""Static analysis of SIMT kernels: verifier, race detector, lints.
+
+The package is a small pass-based analyzer over :mod:`repro.isa`
+kernels (see ARCHITECTURE.md section 9).  Typical entry points::
+
+    from repro.analysis import analyze_launch
+    result = analyze_launch(launch, config)
+    for d in result.diagnostics:
+        print(d.format())
+
+or, end to end against the simulator::
+
+    from repro.analysis import compare_static_dynamic
+    cross = compare_static_dynamic(launch, config)
+    assert cross.agree is not False
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..isa.launch import KernelLaunch
+from ..sim.config import GPUConfig
+from .crosscheck import (CrossCheckResult, compare_static_dynamic,
+                         shape_for_launch)
+from .diagnostics import (RULES, Diagnostic, Rule, Severity, diag,
+                          diagnostics_to_json, format_diagnostics,
+                          has_errors, max_severity)
+from .divergence import DivergencePass
+from .framework import (AnalysisManager, AnalysisResult, LaunchShape,
+                        Pass, default_passes, run_passes)
+from .memlints import (MemoryLintPass, SitePrediction, StaticMemReport,
+                       predict_memory)
+from .races import SmemRacePass
+from .symeval import (BarrierFact, BranchFact, MemAccess, SymbolicEvaluator,
+                      SymbolicFacts)
+from .verifier import CfgVerifierPass, StructuralVerifierPass
+
+__all__ = [
+    "AnalysisManager", "AnalysisResult", "BarrierFact", "BranchFact",
+    "CfgVerifierPass", "CrossCheckResult", "Diagnostic",
+    "DivergencePass", "LaunchShape", "MemAccess", "MemoryLintPass",
+    "Pass", "RULES", "Rule", "Severity", "SitePrediction",
+    "SmemRacePass", "StaticMemReport", "StructuralVerifierPass",
+    "SymbolicEvaluator", "SymbolicFacts", "analyze_kernel",
+    "analyze_launch", "compare_static_dynamic", "default_passes",
+    "diag", "diagnostics_to_json", "format_diagnostics", "has_errors",
+    "max_severity", "predict_memory", "run_passes", "shape_for_launch",
+]
+
+
+def analyze_kernel(kernel, shape: LaunchShape,
+                   passes: Optional[Sequence[Pass]] = None
+                   ) -> AnalysisResult:
+    """Run the analyzer pipeline over a bare kernel + launch shape."""
+    return run_passes(kernel, shape, passes)
+
+
+def analyze_launch(launch: KernelLaunch,
+                   config: Optional[GPUConfig] = None,
+                   passes: Optional[Sequence[Pass]] = None
+                   ) -> AnalysisResult:
+    """Run the analyzer pipeline over a kernel launch descriptor."""
+    cfg = config if config is not None else GPUConfig()
+    return run_passes(launch.kernel, shape_for_launch(launch, cfg),
+                      passes)

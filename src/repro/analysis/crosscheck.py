@@ -1,0 +1,118 @@
+"""Static-vs-dynamic cross-checking of the memory predictions.
+
+The memory lints replicate the simulator's own bank-conflict and
+coalescing models on statically resolved addresses, so whenever the
+static side declares a site *comparable*, the prediction and the
+cycle backend's :class:`~repro.sim.activity.ActivityReport` must
+agree -- any gap means the address resolution (or the counter
+plumbing) is wrong.  That makes this harness a correctness oracle in
+both directions, the same role cross-validation against a reference
+plays for accelerated simulators (GATSPI; "Parallelizing a modern GPU
+simulator", PAPERS.md).
+
+Compared quantities are per-access ratios, because static analysis
+cannot know dynamic trip counts:
+
+* shared: predicted conflict-free  <=>  ``smem_conflict_cycles == 0``;
+* global: observed ``mem_transactions / coalescer_accesses`` must lie
+  within the static per-site [min, max] transaction-per-access bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..backends.base import DEFAULT_BACKEND, get_backend
+from ..isa.launch import KernelLaunch
+from ..sim.config import GPUConfig
+from .framework import AnalysisManager, LaunchShape
+from .memlints import StaticMemReport, predict_memory
+
+
+def shape_for_launch(launch: KernelLaunch,
+                     config: GPUConfig) -> LaunchShape:
+    """Launch geometry + the config knobs the memory models use."""
+    return LaunchShape(
+        n_threads=launch.block.count,
+        grid=launch.grid.count,
+        warp_size=config.warp_size,
+        smem_banks=config.smem_banks,
+        coalesce_segment_bytes=config.coalesce_segment_bytes,
+    )
+
+
+@dataclass
+class CrossCheckResult:
+    """Agreement record for one kernel launch.
+
+    ``agree`` is None when nothing was comparable (static analysis
+    could not resolve the addresses), True/False otherwise.
+    """
+
+    kernel: str
+    static: Dict[str, Any] = field(default_factory=dict)
+    dynamic: Dict[str, Any] = field(default_factory=dict)
+    checks: List[Dict[str, Any]] = field(default_factory=list)
+    agree: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kernel": self.kernel, "agree": self.agree,
+                "static": self.static, "dynamic": self.dynamic,
+                "checks": self.checks}
+
+
+def compare_static_dynamic(launch: KernelLaunch, config: GPUConfig,
+                           backend: str = DEFAULT_BACKEND,
+                           max_cycles: float = 5e8) -> CrossCheckResult:
+    """Run one launch and pin static predictions to observed counters."""
+    shape = shape_for_launch(launch, config)
+    am = AnalysisManager(launch.kernel, shape)
+    report: StaticMemReport = predict_memory(am.symbolic, shape,
+                                             launch.kernel.name)
+    output = get_backend(backend).simulate(config, launch,
+                                           max_cycles=max_cycles)
+    act = output.activity
+
+    result = CrossCheckResult(kernel=launch.kernel.name)
+    result.static = {
+        "smem_comparable": report.smem_comparable,
+        "smem_conflict_free": report.smem_conflict_free,
+        "global_comparable": report.global_comparable,
+        "global_txn_bounds": report.global_txn_bounds(),
+        "sites": [{"pc": s.pc, "op": s.op, "space": s.space,
+                   "comparable": s.comparable, "phases": s.phases,
+                   "txn_per_access": s.transactions_per_access}
+                  for s in report.sites],
+    }
+    result.dynamic = {
+        "smem_conflict_cycles": act.smem_conflict_cycles,
+        "bank_conflict_checks": act.bank_conflict_checks,
+        "coalescer_accesses": act.coalescer_accesses,
+        "mem_transactions": act.mem_transactions,
+    }
+
+    checks: List[Dict[str, Any]] = []
+    has_smem = any(s.space == "shared" for s in report.sites)
+    if has_smem and report.smem_comparable:
+        observed_free = act.smem_conflict_cycles == 0
+        checks.append({
+            "check": "smem_conflict_free",
+            "predicted": report.smem_conflict_free,
+            "observed": observed_free,
+            "ok": report.smem_conflict_free == observed_free,
+        })
+    bounds = report.global_txn_bounds()
+    if report.global_comparable and bounds is not None \
+            and act.coalescer_accesses > 0:
+        observed = act.mem_transactions / act.coalescer_accesses
+        lo, hi = bounds
+        checks.append({
+            "check": "global_txn_per_access",
+            "predicted_bounds": [lo, hi],
+            "observed": observed,
+            "ok": lo - 1e-9 <= observed <= hi + 1e-9,
+        })
+    result.checks = checks
+    result.agree = all(c["ok"] for c in checks) if checks else None
+    return result

@@ -1,0 +1,101 @@
+"""Divergence analysis (rules D001, D002).
+
+The symbolic evaluator already classifies every conditional branch as
+provably uniform, provably divergent, or unknown (see
+:class:`~repro.analysis.symeval.BranchFact`): thread-dependence
+propagates from the ``tid``-family special registers through the value
+domain, and a branch whose predicate ends up thread-variant diverges.
+
+This pass turns those verdicts into the two lints that matter for the
+stack-based reconvergence model:
+
+* **D001 -- barrier under divergence.**  A ``BAR`` between a
+  potentially divergent branch and its reconvergence point executes
+  with only one side of the warp present; the other side never
+  arrives, and the block deadlocks (the cycle simulator would hang
+  until its watchdog).  We compute each divergent branch's *divergence
+  region* -- blocks reachable from its successors without passing
+  through the immediate post-dominator -- and flag any BAR inside.  A
+  BAR whose own participation mask is exactly known and not the full
+  block is flagged directly.
+* **D002 -- reconvergence only at exit.**  A divergent branch whose
+  immediate post-dominator is the virtual exit keeps the warp split
+  for the rest of the kernel: legal, but the serialization cost is
+  global instead of local, so it is worth a warning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..isa.cfg import EXIT_PC_SENTINEL
+from .diagnostics import Diagnostic, diag
+from .framework import AnalysisManager, Pass
+
+
+def divergence_region(am: AnalysisManager, branch_pc: int) -> Set[int]:
+    """Blocks executed while the warp may be split by this branch.
+
+    The region is everything reachable from the branch block's
+    successors without passing through the branch's immediate
+    post-dominator (where the reconvergence stack rejoins the warp).
+    """
+    block = am.block_of[branch_pc]
+    stop = am.ipdom[block]
+    region: Set[int] = set()
+    stack = [s for s in am.cfg[block] if s != EXIT_PC_SENTINEL]
+    while stack:
+        node = stack.pop()
+        if node == stop or node in region:
+            continue
+        region.add(node)
+        stack.extend(s for s in am.cfg[node] if s != EXIT_PC_SENTINEL)
+    return region
+
+
+class DivergencePass(Pass):
+    """Find barriers under divergence and costly reconvergence."""
+
+    name = "divergence"
+    needs_cfg = True
+
+    def run(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        facts = am.symbolic
+        n = am.shape.n_threads
+
+        # Blocks covered by some possibly-divergent branch's region.
+        divergent_regions: Dict[int, List[int]] = {}
+        for pc, fact in facts.branches.items():
+            if fact.uniform:
+                continue
+            for block in divergence_region(am, pc):
+                divergent_regions.setdefault(block, []).append(pc)
+            if am.ipdom[am.block_of[pc]] == EXIT_PC_SENTINEL:
+                word = "divergent" if fact.uniform is False \
+                    else "potentially divergent"
+                out.append(diag(
+                    "D002", am.kernel.name,
+                    f"{word} branch reconverges only at kernel exit; "
+                    f"the warp stays serialized for the remainder",
+                    pc=pc))
+
+        for bar in facts.barriers:
+            active = int(bar.mask.sum())
+            if bar.exact and active not in (0, n):
+                out.append(diag(
+                    "D001", am.kernel.name,
+                    f"BAR executes with {active} of {n} threads; the "
+                    f"missing threads never arrive and the block "
+                    f"deadlocks", pc=bar.pc, active=active, block=n))
+                continue
+            block = am.block_of[bar.pc]
+            if block in divergent_regions:
+                branches = sorted(divergent_regions[block])
+                out.append(diag(
+                    "D001", am.kernel.name,
+                    f"BAR is reachable while the warp may be split by "
+                    f"the divergent branch at pc "
+                    f"{branches[0]}", pc=bar.pc,
+                    branches=branches))
+        return out

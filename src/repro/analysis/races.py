@@ -1,0 +1,260 @@
+"""Static shared-memory race detection (rules R001-R003, M003).
+
+Shared memory is the one space where the bundled kernels communicate
+across threads, and ``BAR`` is the only synchronization the ISA has --
+so the happens-before structure is simple: two accesses can race only
+if one is reachable from the other along a path that executes no
+barrier.  The detector therefore:
+
+1. computes, per memory instruction, the set of shared-memory
+   instructions reachable from it barrier-free (an instruction-level
+   DFS that stops at ``BAR``);
+2. for each ordered pair with at least one store, compares the
+   per-thread address sets from the symbolic evaluation.  Addresses
+   carry uniform-unknown terms (loop-carried bases, ``ctaid``); two
+   accesses with *equal* symbolic terms overlap iff their concrete
+   per-thread components overlap -- distinctness is invariant under a
+   shared uniform shift.  Pairs whose terms differ are undecidable and
+   reported as R003 (info) rather than guessed at.
+
+A same-site store races with itself when two threads write the same
+word (duplicate addresses under the participation mask).
+
+Bounds (M003) ride along here because the facts are already on hand:
+a fully resolved shared address outside ``kernel.smem_words`` is a
+hard error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .diagnostics import Diagnostic, Severity, diag
+from .framework import AnalysisManager, Pass
+from .symeval import MemAccess
+
+
+def barrier_free_reachable(am: AnalysisManager,
+                           from_pc: int) -> Set[int]:
+    """PCs reachable from ``from_pc`` without executing a BAR.
+
+    Successors of ``from_pc`` itself are explored (execution continues
+    after the instruction); traversal stops *at* each BAR without
+    passing through it.  ``from_pc`` is included only if reachable
+    from itself (a barrier-free loop).
+    """
+    insts = am.instructions
+    n = len(insts)
+
+    def succs(pc: int) -> List[int]:
+        inst = insts[pc]
+        if inst.op == "EXIT":
+            return []
+        if inst.op == "JMP":
+            return [inst.target] if inst.target is not None else []
+        out = []
+        if pc + 1 < n:
+            out.append(pc + 1)
+        if inst.op == "BRA" and inst.target is not None:
+            out.append(inst.target)
+        return out
+
+    seen: Set[int] = set()
+    stack = succs(from_pc)
+    while stack:
+        pc = stack.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        if insts[pc].op == "BAR":
+            continue
+        stack.extend(s for s in succs(pc) if s not in seen)
+    return seen
+
+
+def _overlap(a: MemAccess, b: MemAccess) -> Tuple[str, int]:
+    """Compare two analyzable accesses with equal symbolic terms.
+
+    A word only counts as racing when *different* threads touch it
+    across the two accesses -- a thread reading and then writing its
+    own word is ordered by program order, not a race.
+
+    Returns ("disjoint", 0) or ("overlap", n_racing_words).
+    """
+    assert a.addr_vec is not None and b.addr_vec is not None
+    threads_a = np.flatnonzero(a.mask)
+    threads_b = np.flatnonzero(b.mask)
+    addrs_a = a.addr_vec[a.mask].astype(np.int64)
+    addrs_b = b.addr_vec[b.mask].astype(np.int64)
+    common = np.intersect1d(addrs_a, addrs_b)
+    racing = 0
+    for word in common:
+        ta = threads_a[addrs_a == word]
+        tb = threads_b[addrs_b == word]
+        if len(ta) > 1 or len(tb) > 1 or ta[0] != tb[0]:
+            racing += 1
+    if racing == 0:
+        return "disjoint", 0
+    return "overlap", racing
+
+
+class SmemRacePass(Pass):
+    """Write-write / read-write overlap within barrier intervals."""
+
+    name = "smem-races"
+    needs_cfg = True
+
+    def run(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        facts = am.symbolic
+        smem = facts.smem_accesses()
+        if not smem:
+            return out
+
+        for acc in smem:
+            if not acc.analyzable:
+                out.append(diag(
+                    "R003", am.kernel.name,
+                    f"{acc.op} address is not statically analyzable; "
+                    f"race and bank-conflict checks are skipped for "
+                    f"this access", pc=acc.pc))
+        analyzable = [a for a in smem if a.analyzable]
+
+        out.extend(self._check_bounds(am, analyzable))
+        out.extend(self._check_same_site(am, analyzable))
+        out.extend(self._check_cross_site(am, analyzable))
+        return out
+
+    # -- M003 ---------------------------------------------------------------
+
+    def _check_bounds(self, am: AnalysisManager,
+                      accesses: List[MemAccess]) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        words = am.kernel.smem_words
+        for acc in accesses:
+            if not acc.base_resolves:
+                continue  # loop-carried base: bounds undecidable
+            for ctaid in (0, max(0, am.shape.grid - 1)):
+                addrs = acc.addresses(ctaid)
+                if len(addrs) and (addrs.min() < 0
+                                   or addrs.max() >= words):
+                    out.append(diag(
+                        "M003", am.kernel.name,
+                        f"{acc.op} touches word "
+                        f"{int(addrs.min())}..{int(addrs.max())} but "
+                        f"the kernel declares {words} shared words",
+                        pc=acc.pc, smem_words=words,
+                        lo=int(addrs.min()), hi=int(addrs.max())))
+                    break
+        return out
+
+    # -- R001 same-site -----------------------------------------------------
+
+    def _check_same_site(self, am: AnalysisManager,
+                         accesses: List[MemAccess]) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for acc in accesses:
+            if not acc.is_store:
+                continue
+            if acc.pc in barrier_free_reachable(am, acc.pc) \
+                    and any(t != ("ctaid",) for t in acc.addr_syms):
+                # The store re-executes in a barrier-free loop with a
+                # loop-carried base: iterations write shifting address
+                # sets we cannot compare against each other.
+                out.append(diag(
+                    "R003", am.kernel.name,
+                    f"{acc.op} repeats in a barrier-free loop with a "
+                    f"loop-carried address base; cross-iteration "
+                    f"overlap is undecidable", pc=acc.pc))
+                continue
+            assert acc.addr_vec is not None
+            addrs = acc.addr_vec[acc.mask].astype(np.int64)
+            n_dup = len(addrs) - len(np.unique(addrs))
+            if n_dup:
+                out.append(diag(
+                    "R001", am.kernel.name,
+                    f"{acc.op}: {n_dup + 1} threads write the same "
+                    f"shared word in one execution (last writer "
+                    f"wins nondeterministically)", pc=acc.pc,
+                    severity=Severity.ERROR if acc.exact
+                    else Severity.WARNING,
+                    duplicate_threads=n_dup + 1, proven=acc.exact))
+        return out
+
+    # -- R001/R002 cross-site -----------------------------------------------
+
+    def _check_cross_site(self, am: AnalysisManager,
+                          accesses: List[MemAccess]) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        reach: Dict[int, Set[int]] = {
+            a.pc: barrier_free_reachable(am, a.pc) for a in accesses}
+        reported: Set[Tuple[int, int]] = set()
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if not (a.is_store or b.is_store):
+                    continue
+                key = (a.pc, b.pc)
+                if key in reported:
+                    continue
+                # Unordered pair: a race needs one access reachable
+                # from the other without an intervening barrier.
+                if b.pc not in reach[a.pc] and a.pc not in reach[b.pc]:
+                    continue
+                # Equal symbolic terms only license a concrete
+                # comparison when the unknowns hold the same values at
+                # both executions.  A loop-carried (phi) base inside a
+                # barrier-free cycle takes a different value each
+                # iteration, so the comparison would be unsound.
+                in_cycle = (a.pc in reach[a.pc] or b.pc in reach[b.pc])
+                has_phi = any(t != ("ctaid",) for t in a.addr_syms) \
+                    or any(t != ("ctaid",) for t in b.addr_syms)
+                if in_cycle and has_phi:
+                    reported.add(key)
+                    out.append(diag(
+                        "R003", am.kernel.name,
+                        f"cannot compare {a.op}@pc{a.pc} with "
+                        f"{b.op}@pc{b.pc}: loop-carried address bases "
+                        f"inside a barrier-free cycle", pc=b.pc,
+                        other_pc=a.pc))
+                    continue
+                if a.addr_syms != b.addr_syms:
+                    # Different uniform bases: overlap undecidable.
+                    # (In the bundled kernels such pairs are always
+                    # barrier-separated; reaching here is unusual
+                    # enough to surface.)
+                    reported.add(key)
+                    out.append(diag(
+                        "R003", am.kernel.name,
+                        f"cannot compare {a.op}@pc{a.pc} with "
+                        f"{b.op}@pc{b.pc}: address bases differ "
+                        f"symbolically", pc=b.pc, other_pc=a.pc))
+                    continue
+                verdict, common = _overlap(a, b)
+                if verdict == "overlap":
+                    reported.add(key)
+                    rule = "R001" if a.is_store and b.is_store \
+                        else "R002"
+                    kind = "write-write" if rule == "R001" \
+                        else "read-write"
+                    # With an exact participation mask the overlap is
+                    # proven.  An inexact mask (a guard the symbolic
+                    # domain could not resolve, e.g. ``tid < stride``
+                    # with a loop-carried stride) over-approximates the
+                    # participants, so the overlap is only possible --
+                    # report it, but below the --strict gate.
+                    exact = a.exact and b.exact
+                    qualifier = "" if exact else \
+                        " (execution masks not statically exact; " \
+                        "the guard may separate the threads)"
+                    out.append(diag(
+                        rule, am.kernel.name,
+                        f"{kind} overlap on {common} shared word(s) "
+                        f"between {a.op}@pc{a.pc} and {b.op}@pc{b.pc} "
+                        f"with no barrier between them{qualifier}",
+                        pc=b.pc,
+                        severity=Severity.ERROR if exact
+                        else Severity.WARNING,
+                        other_pc=a.pc, words=common, proven=exact))
+        return out

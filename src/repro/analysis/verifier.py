@@ -1,0 +1,289 @@
+"""Kernel well-formedness verification (rules V001-V008).
+
+Two passes split along the CFG dependency:
+
+* :class:`StructuralVerifierPass` checks each instruction in isolation
+  -- operand arity and kinds per opcode, register/predicate indices
+  against the kernel's declared counts, branch targets inside the
+  program.  It needs no CFG, so it can run on arbitrarily broken input
+  and gate the CFG-dependent passes.
+* :class:`CfgVerifierPass` checks flow-sensitive properties --
+  registers and predicates possibly read before any write on some path
+  (a definite-assignment dataflow), reconvergence-PC agreement with the
+  recomputed immediate post-dominators, EXIT reachability, and
+  unreachable code.
+
+Reads of never-written registers are not crashes in the simulator (the
+register file starts zeroed), which is exactly why they belong in a
+verifier: a kernel that silently computes with zeros produces wrong
+activity counts, and wrong activity makes wrong power numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.cfg import EXIT_PC_SENTINEL
+from ..isa.instructions import ALL_OPS, Instruction, Pred, Reg, Sreg
+from .diagnostics import Diagnostic, diag
+from .framework import AnalysisManager, Pass, instruction_uses
+
+#: Expected source-operand count and destination kind per opcode.
+#: dst kind: "reg", "pred", or None (no destination allowed).
+_UNARY_REG = ("MOV", "NOT", "IABS", "I2F", "F2I", "FNEG", "FABS",
+              "RCP", "RSQRT", "SQRT", "SIN", "COS", "EXP2", "LOG2")
+_BINARY_REG = ("IADD", "ISUB", "IMUL", "AND", "OR", "XOR", "SHL", "SHR",
+               "IMIN", "IMAX", "IDIV", "IMOD", "FADD", "FSUB", "FMUL",
+               "FMIN", "FMAX", "FDIV", "SELP")
+_TERNARY_REG = ("IMAD", "FFMA")
+
+SIGNATURES: Dict[str, Tuple[int, Optional[str]]] = {}
+for _op in _UNARY_REG:
+    SIGNATURES[_op] = (1, "reg")
+for _op in _BINARY_REG:
+    SIGNATURES[_op] = (2, "reg")
+for _op in _TERNARY_REG:
+    SIGNATURES[_op] = (3, "reg")
+for _op in ALL_OPS:
+    if "SETP" in _op:
+        SIGNATURES[_op] = (2, "pred")
+for _op in ("LDG", "LDS", "LDC", "LDT"):
+    SIGNATURES[_op] = (1, "reg")
+for _op in ("STG", "STS"):
+    SIGNATURES[_op] = (2, None)
+for _op in ("BRA", "JMP", "BAR", "EXIT", "NOP"):
+    SIGNATURES[_op] = (0, None)
+
+
+class StructuralVerifierPass(Pass):
+    """Per-instruction checks that need no control-flow graph."""
+
+    name = "verify-structural"
+    needs_cfg = False
+
+    def run(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        kernel = am.kernel
+        n = len(am.instructions)
+        for pc, inst in enumerate(am.instructions):
+            out.extend(self._check_signature(kernel.name, pc, inst))
+            out.extend(self._check_indices(kernel, pc, inst))
+            if inst.is_branch:
+                if inst.target is None:
+                    out.append(diag("V004", kernel.name,
+                                    f"{inst.op} has no resolved target",
+                                    pc=pc))
+                elif not 0 <= inst.target < n:
+                    out.append(diag(
+                        "V004", kernel.name,
+                        f"{inst.op} target {inst.target} outside the "
+                        f"program (valid range 0..{n - 1})",
+                        pc=pc, target=inst.target))
+        return out
+
+    def _check_signature(self, kernel_name: str, pc: int,
+                         inst: Instruction) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        sig = SIGNATURES.get(inst.op)
+        if sig is None:
+            return out  # Instruction.__post_init__ rejects unknown ops.
+        n_srcs, dst_kind = sig
+        if len(inst.srcs) != n_srcs:
+            out.append(diag(
+                "V003", kernel_name,
+                f"{inst.op} expects {n_srcs} source operand(s), "
+                f"got {len(inst.srcs)}", pc=pc))
+        if dst_kind == "reg" and not isinstance(inst.dst, Reg):
+            out.append(diag("V003", kernel_name,
+                            f"{inst.op} needs a register destination",
+                            pc=pc))
+        elif dst_kind == "pred" and not isinstance(inst.dst, Pred):
+            out.append(diag("V003", kernel_name,
+                            f"{inst.op} needs a predicate destination",
+                            pc=pc))
+        elif dst_kind is None and inst.dst is not None:
+            out.append(diag("V003", kernel_name,
+                            f"{inst.op} takes no destination", pc=pc))
+        if inst.op == "SELP" \
+                and not isinstance(getattr(inst, "sel_pred", None), Pred):
+            out.append(diag("V003", kernel_name,
+                            "SELP is missing its selector predicate",
+                            pc=pc))
+        if inst.op in ("LDG", "STG", "LDS", "STS", "LDC", "LDT") \
+                and inst.srcs \
+                and not isinstance(inst.srcs[0], (Reg, Sreg)):
+            out.append(diag(
+                "V003", kernel_name,
+                f"{inst.op} address operand must be a register, "
+                f"got {inst.srcs[0]!r}", pc=pc))
+        return out
+
+    def _check_indices(self, kernel, pc: int,
+                       inst: Instruction) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+
+        def check_reg(r: Reg, role: str) -> None:
+            if not 0 <= r.index < kernel.n_regs:
+                out.append(diag(
+                    "V008", kernel.name,
+                    f"{role} r{r.index} outside the kernel's "
+                    f"{kernel.n_regs} declared registers", pc=pc,
+                    index=r.index, n_regs=kernel.n_regs))
+
+        def check_pred(p: Pred, role: str) -> None:
+            if not 0 <= p.index < kernel.n_preds:
+                out.append(diag(
+                    "V008", kernel.name,
+                    f"{role} p{p.index} outside the kernel's "
+                    f"{kernel.n_preds} declared predicates", pc=pc,
+                    index=p.index, n_preds=kernel.n_preds))
+
+        if isinstance(inst.dst, Reg):
+            check_reg(inst.dst, "destination")
+        elif isinstance(inst.dst, Pred):
+            check_pred(inst.dst, "destination")
+        for s in inst.srcs:
+            if isinstance(s, Reg):
+                check_reg(s, "source")
+        if inst.guard is not None:
+            check_pred(inst.guard[0], "guard")
+        sel = getattr(inst, "sel_pred", None)
+        if isinstance(sel, Pred):
+            check_pred(sel, "selector")
+        return out
+
+
+class CfgVerifierPass(Pass):
+    """Flow-sensitive well-formedness over the block CFG."""
+
+    name = "verify-cfg"
+    needs_cfg = True
+
+    def run(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        out.extend(self._check_def_before_use(am))
+        out.extend(self._check_reconvergence(am))
+        out.extend(self._check_exit_reachability(am))
+        out.extend(self._check_unreachable(am))
+        return out
+
+    # -- V001/V002: definite assignment -------------------------------------
+
+    def _check_def_before_use(self, am: AnalysisManager) -> List[Diagnostic]:
+        """Forward must-analysis: definitely-assigned at block entry is
+        the intersection over predecessors; a use outside the running
+        set may read the register before any write on some path."""
+        out: List[Diagnostic] = []
+        if not am.leaders:
+            return out
+        entry = am.leaders[0]
+        reachable = am.reachable_blocks
+        defined_in: Dict[int, Optional[Tuple[Set[int], Set[int]]]] = \
+            {n: None for n in reachable}
+        defined_in[entry] = (set(), set())
+        order = [n for n in am.leaders if n in reachable]
+        changed = True
+        while changed:
+            changed = False
+            for leader in order:
+                if defined_in[leader] is None:
+                    continue
+                regs, preds = self._block_out(am, leader,
+                                              defined_in[leader])
+                for succ in am.cfg[leader]:
+                    if succ == EXIT_PC_SENTINEL or succ not in reachable:
+                        continue
+                    cur = defined_in[succ]
+                    new = (set(regs), set(preds)) if cur is None \
+                        else (cur[0] & regs, cur[1] & preds)
+                    if cur is None or new[0] != cur[0] or new[1] != cur[1]:
+                        defined_in[succ] = new
+                        changed = True
+        reported: Set[Tuple[str, int]] = set()
+        for leader in order:
+            state = defined_in[leader]
+            if state is None:
+                continue
+            regs, preds = set(state[0]), set(state[1])
+            for pc in range(leader, am.block_ranges[leader]):
+                inst = am.instructions[pc]
+                reg_uses, pred_uses = instruction_uses(inst)
+                for r in reg_uses:
+                    if r not in regs and ("r", r) not in reported:
+                        reported.add(("r", r))
+                        out.append(diag(
+                            "V001", am.kernel.name,
+                            f"r{r} may be read before it is written "
+                            f"(reads zero from the initial register "
+                            f"file)", pc=pc, index=r))
+                for p in pred_uses:
+                    if p not in preds and ("p", p) not in reported:
+                        reported.add(("p", p))
+                        out.append(diag(
+                            "V002", am.kernel.name,
+                            f"p{p} may be read before it is written",
+                            pc=pc, index=p))
+                if isinstance(inst.dst, Reg):
+                    regs.add(inst.dst.index)
+                elif isinstance(inst.dst, Pred):
+                    preds.add(inst.dst.index)
+        return out
+
+    def _block_out(self, am: AnalysisManager, leader: int,
+                   state: Optional[Tuple[Set[int], Set[int]]]
+                   ) -> Tuple[Set[int], Set[int]]:
+        assert state is not None
+        regs, preds = set(state[0]), set(state[1])
+        for pc in range(leader, am.block_ranges[leader]):
+            inst = am.instructions[pc]
+            if isinstance(inst.dst, Reg):
+                regs.add(inst.dst.index)
+            elif isinstance(inst.dst, Pred):
+                preds.add(inst.dst.index)
+        return regs, preds
+
+    # -- V005: reconvergence PCs --------------------------------------------
+
+    def _check_reconvergence(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for pc, inst in enumerate(am.instructions):
+            if inst.op != "BRA":
+                continue
+            expected = am.ipdom[am.block_of[pc]]
+            if inst.reconv_pc is None:
+                out.append(diag(
+                    "V005", am.kernel.name,
+                    "BRA has no reconvergence PC attached "
+                    "(was the kernel assembled via KernelBuilder?)",
+                    pc=pc, expected=expected))
+            elif inst.reconv_pc != expected:
+                out.append(diag(
+                    "V005", am.kernel.name,
+                    f"BRA reconvergence PC {inst.reconv_pc} does not "
+                    f"match the immediate post-dominator {expected}",
+                    pc=pc, expected=expected, actual=inst.reconv_pc))
+        return out
+
+    # -- V006/V007: reachability --------------------------------------------
+
+    def _check_exit_reachability(self,
+                                 am: AnalysisManager) -> List[Diagnostic]:
+        for leader in am.reachable_blocks:
+            if EXIT_PC_SENTINEL in am.cfg[leader]:
+                end = am.block_ranges[leader]
+                if am.instructions[end - 1].op == "EXIT":
+                    return []
+        return [diag("V006", am.kernel.name,
+                     "no EXIT instruction is reachable from entry; "
+                     "every warp would spin forever", pc=0)]
+
+    def _check_unreachable(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for leader in am.leaders:
+            if leader not in am.reachable_blocks:
+                end = am.block_ranges[leader]
+                out.append(diag(
+                    "V007", am.kernel.name,
+                    f"basic block at pc {leader}..{end - 1} is "
+                    f"unreachable from entry", pc=leader))
+        return out

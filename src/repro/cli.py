@@ -218,6 +218,50 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Static analysis of workload kernels (verifier, races, lints).
+
+    With ``--strict`` the exit code is 1 when any kernel has
+    error-severity diagnostics (the CI gate); without it the command
+    is informational and always exits 0.
+    """
+    from .analysis import Severity, analyze_launch, diagnostics_to_json
+    config = _load_config(args)
+    launches = all_kernel_launches()
+    if args.kernels:
+        wanted = args.kernels.split(",")
+        unknown = [k for k in wanted if k not in launches]
+        if unknown:
+            print(f"unknown kernel(s) {unknown}; try `gpusimpow list`",
+                  file=sys.stderr)
+            return 2
+        launches = {k: launches[k] for k in wanted}
+    min_sev = Severity.parse(args.min_severity)
+    all_diags = []
+    failed = False
+    for label in sorted(launches):
+        result = analyze_launch(launches[label], config)
+        diags = [d for d in result.diagnostics if d.severity >= min_sev]
+        all_diags.extend(diags)
+        errors = sum(d.severity >= Severity.ERROR
+                     for d in result.diagnostics)
+        if errors:
+            failed = True
+        if args.format == "text":
+            warnings = sum(d.severity == Severity.WARNING
+                           for d in result.diagnostics)
+            status = "FAIL" if errors else "ok"
+            print(f"{status:>4s} {label}: {errors} error(s), "
+                  f"{warnings} warning(s)")
+            for d in diags:
+                print(f"     {d.format()}")
+    if args.format == "json":
+        print(diagnostics_to_json(all_diags))
+    if failed and args.strict:
+        return 1
+    return 0
+
+
 def _cmd_power(args) -> int:
     """Re-run only the power model on a saved activity trace."""
     config = _load_config(args)
@@ -380,6 +424,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("kernel", help="kernel label (see `list`)")
     add_gpu_args(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_lint = sub.add_parser("lint",
+                            help="static analysis of workload kernels")
+    add_gpu_args(p_lint)
+    p_lint.add_argument("--kernels", default=None,
+                        help="comma-separated kernel subset "
+                             "(default: all)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit nonzero on any error-severity "
+                             "diagnostic (the CI gate)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="text summary or a JSON diagnostic array")
+    p_lint.add_argument("--min-severity", default="info",
+                        choices=("info", "warning", "error"),
+                        help="hide diagnostics below this severity "
+                             "in the listing")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_power = sub.add_parser("power",
                              help="evaluate power from a saved trace")

@@ -20,14 +20,26 @@ EXIT_PC_SENTINEL = -1
 
 
 def basic_block_leaders(instructions: Sequence[Instruction]) -> List[int]:
-    """Return sorted PCs that start a basic block."""
+    """Return sorted PCs that start a basic block.
+
+    Raises:
+        ValueError: On an unresolved branch (``target is None``) or a
+            branch target outside ``[0, len(instructions))``.  An
+            out-of-range target is always an assembler bug; clamping it
+            to the exit sentinel (the old behaviour) silently turned a
+            wild jump into a normal kernel exit.
+    """
     leaders: Set[int] = {0} if instructions else set()
     for pc, inst in enumerate(instructions):
         if inst.is_branch:
             if inst.target is None:
                 raise ValueError(f"unresolved branch target at pc {pc}")
-            if 0 <= inst.target < len(instructions):
-                leaders.add(inst.target)
+            if not 0 <= inst.target < len(instructions):
+                raise ValueError(
+                    f"branch target {inst.target} at pc {pc} is outside "
+                    f"the program (valid range 0..{len(instructions) - 1})"
+                )
+            leaders.add(inst.target)
             if pc + 1 < len(instructions):
                 leaders.add(pc + 1)
         elif inst.op == "EXIT" and pc + 1 < len(instructions):
@@ -62,18 +74,53 @@ def build_cfg(instructions: Sequence[Instruction]) -> Dict[int, List[int]]:
     return cfg
 
 
+def predecessors(cfg: Dict[int, List[int]]) -> Dict[int, List[int]]:
+    """Invert the successor map: node -> predecessor nodes (sorted)."""
+    preds: Dict[int, List[int]] = {n: [] for n in cfg}
+    for node, succs in cfg.items():
+        for succ in succs:
+            preds.setdefault(succ, []).append(node)
+    return {n: sorted(ps) for n, ps in preds.items()}
+
+
+def _reaches_exit(cfg: Dict[int, List[int]]) -> Set[int]:
+    """Nodes with at least one path to the virtual exit node."""
+    preds = predecessors(cfg)
+    seen: Set[int] = {EXIT_PC_SENTINEL}
+    stack = [EXIT_PC_SENTINEL]
+    while stack:
+        for pred in preds.get(stack.pop(), ()):
+            if pred not in seen:
+                seen.add(pred)
+                stack.append(pred)
+    return seen
+
+
 def post_dominators(cfg: Dict[int, List[int]]) -> Dict[int, Set[int]]:
-    """Iterative post-dominator sets over the block CFG."""
+    """Iterative post-dominator sets over the block CFG.
+
+    Nodes with no path to the virtual exit (infinite loops, and
+    unreachable blocks that only feed such loops) get the degenerate
+    ``{node}``: the greatest-fixpoint iteration would otherwise leave
+    their sets saturated with every node, which downstream consumers
+    (reconvergence, the static analyzer) would misread as real
+    post-dominance.
+    """
     nodes = list(cfg)
-    pdom: Dict[int, Set[int]] = {n: set(nodes) for n in nodes}
+    exiting = _reaches_exit(cfg)
+    pdom: Dict[int, Set[int]] = {}
+    for n in nodes:
+        pdom[n] = set(nodes) if n in exiting else {n}
     pdom[EXIT_PC_SENTINEL] = {EXIT_PC_SENTINEL}
     changed = True
     while changed:
         changed = False
         for node in nodes:
-            if node == EXIT_PC_SENTINEL:
+            if node == EXIT_PC_SENTINEL or node not in exiting:
                 continue
-            succs = cfg[node]
+            # Only successors on exit-reaching paths constrain the set;
+            # a side edge into an infinite loop is not a path to exit.
+            succs = [s for s in cfg[node] if s in exiting]
             if succs:
                 new = set.intersection(*(pdom[s] for s in succs))
             else:
@@ -99,7 +146,7 @@ def immediate_post_dominators(cfg: Dict[int, List[int]]) -> Dict[int, int]:
             continue
         strict = pdom[node] - {node}
         best = EXIT_PC_SENTINEL
-        for cand in strict:
+        for cand in sorted(strict):
             # cand is the immediate pdom if every other strict pdom
             # post-dominates cand.
             if all(other == cand or other in pdom[cand] for other in strict):
@@ -107,6 +154,50 @@ def immediate_post_dominators(cfg: Dict[int, List[int]]) -> Dict[int, int]:
                 break
         ipdom[node] = best
     return ipdom
+
+
+def dominators(cfg: Dict[int, List[int]], entry: int = 0) -> Dict[int, Set[int]]:
+    """Forward dominator sets over the block CFG.
+
+    ``d`` dominates ``n`` when every path from ``entry`` to ``n`` passes
+    through ``d``.  Blocks unreachable from ``entry`` get the degenerate
+    ``{node}`` (nothing on a nonexistent path dominates anything).
+    """
+    nodes = list(cfg)
+    preds = predecessors(cfg)
+    # Reachability from entry.
+    reachable: Set[int] = set()
+    stack = [entry] if entry in cfg else []
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(cfg[node])
+    dom: Dict[int, Set[int]] = {}
+    for n in nodes:
+        if n == entry:
+            dom[n] = {n}
+        elif n in reachable:
+            dom[n] = set(nodes)
+        else:
+            dom[n] = {n}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == entry or node not in reachable:
+                continue
+            ps = [p for p in preds.get(node, ()) if p in reachable]
+            if ps:
+                new = set.intersection(*(dom[p] for p in ps))
+            else:
+                new = set()
+            new = new | {node}
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
 
 
 def attach_reconvergence_pcs(instructions: Sequence[Instruction]) -> None:

@@ -29,6 +29,24 @@ def _as_operand(value: Union[Operand, Number]) -> Operand:
     raise TypeError(f"cannot use {value!r} as an operand")
 
 
+class KernelVerificationError(ValueError):
+    """Strict assembly found error-severity diagnostics.
+
+    Attributes:
+        kernel: Name of the offending kernel.
+        diagnostics: The error-severity findings (each has ``.format()``
+            for a one-line rendering).
+    """
+
+    def __init__(self, kernel: str, diagnostics) -> None:
+        self.kernel = kernel
+        self.diagnostics = list(diagnostics)
+        lines = "\n".join(d.format() for d in self.diagnostics)
+        super().__init__(
+            f"kernel {kernel!r} failed verification with "
+            f"{len(self.diagnostics)} error(s):\n{lines}")
+
+
 @dataclass(frozen=True)
 class Kernel:
     """An assembled SIMT kernel.
@@ -304,8 +322,17 @@ class KernelBuilder:
 
     # -- assembly -------------------------------------------------------------
 
-    def build(self) -> Kernel:
-        """Resolve labels, attach reconvergence PCs, and freeze."""
+    def build(self, verify: bool = False) -> Kernel:
+        """Resolve labels, attach reconvergence PCs, and freeze.
+
+        Args:
+            verify: Run the static verifier passes over the assembled
+                kernel and raise :class:`KernelVerificationError` on
+                any error-severity diagnostic (use-before-def, operand
+                mismatches, malformed control flow).  Off by default:
+                verification walks the CFG, which assembly itself does
+                not need.
+        """
         if not self._instructions or self._instructions[-1].op != "EXIT":
             self.exit()
         for pc, label in self._pending_targets:
@@ -313,10 +340,28 @@ class KernelBuilder:
                 raise ValueError(f"undefined label {label!r}")
             self._instructions[pc].target = self._labels[label]
         attach_reconvergence_pcs(self._instructions)
-        return Kernel(
+        kernel = Kernel(
             name=self.name,
             instructions=tuple(self._instructions),
             n_regs=max(1, self._next_reg),
             n_preds=max(1, self._next_pred),
             smem_words=self.smem_words,
         )
+        if verify:
+            # Imported here: repro.analysis depends on repro.isa, so a
+            # module-level import would be circular.
+            from ..analysis import LaunchShape, Severity, run_passes
+            from ..analysis.verifier import (CfgVerifierPass,
+                                             StructuralVerifierPass)
+            result = run_passes(
+                kernel, LaunchShape(n_threads=32),
+                passes=[StructuralVerifierPass(), CfgVerifierPass()])
+            errors = [d for d in result.diagnostics
+                      if d.severity >= Severity.ERROR]
+            if errors:
+                raise KernelVerificationError(kernel.name, errors)
+        return kernel
+
+    def finish(self, verify: bool = True) -> Kernel:
+        """Strict-mode assembly: :meth:`build` with verification on."""
+        return self.build(verify=verify)

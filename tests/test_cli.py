@@ -228,3 +228,37 @@ class TestDisasm:
         out = capsys.readouterr().out
         assert "reconverge @" in out
         assert "\nL" in out  # at least one branch-target label marker
+
+
+class TestLint:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--strict", "--format", "json",
+             "--kernels", "vectorAdd", "--min-severity", "warning"])
+        assert args.command == "lint"
+        assert args.strict and args.format == "json"
+        assert args.kernels == "vectorAdd"
+        assert args.min_severity == "warning"
+        assert build_parser().parse_args(["lint"]).min_severity == "info"
+
+    def test_lint_single_kernel_strict_ok(self, capsys):
+        assert main(["lint", "--kernels", "vectorAdd", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorAdd" in out and "ok" in out
+
+    def test_lint_all_workloads_strict_passes(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "--kernels", "matrixMul",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert all({"rule", "severity", "kernel"} <= set(d)
+                   for d in payload)
+
+    def test_lint_unknown_kernel(self, capsys):
+        assert main(["lint", "--kernels", "warpdrive"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err

@@ -13,7 +13,8 @@ class TestRegistry:
                                         "table4", "table5", "fig4", "fig6",
                                         "microbench", "statmodel",
                                         "divergence", "ablations",
-                                        "powertrace", "backends"}
+                                        "powertrace", "backends",
+                                        "analysis"}
 
     def test_every_experiment_has_interface(self):
         for module in ALL_EXPERIMENTS.values():

@@ -87,3 +87,23 @@ class TestPostDominators:
         cfg = build_cfg(prog)
         ipdom = immediate_post_dominators(cfg)
         assert ipdom[0] == EXIT_PC_SENTINEL
+
+
+class TestEdgeCases:
+    def test_leaders_reject_out_of_range_target(self):
+        import pytest
+        prog = [Instruction("BRA", guard=(Pred(0), True), target=7),
+                Instruction("EXIT")]
+        with pytest.raises(ValueError, match="target"):
+            basic_block_leaders(prog)
+
+    def test_unreachable_block_keeps_post_dominators_sound(self):
+        # 0:JMP->2  1:NOP (unreachable)  2:EXIT
+        prog = [Instruction("JMP", target=2),
+                Instruction("NOP"),
+                Instruction("EXIT")]
+        cfg = build_cfg(prog)
+        pdom = post_dominators(cfg)
+        assert 2 in pdom[0]
+        ipdom = immediate_post_dominators(cfg)
+        assert ipdom[0] == 2
