@@ -24,7 +24,7 @@ Package map:
 * :mod:`repro.runner` -- parallel simulation jobs + on-disk result cache
 * :mod:`repro.telemetry` -- windowed activity sampling + power traces
 * :mod:`repro.backends` -- pluggable simulation backends (cycle,
-  functional_ref, analytical)
+  functional_ref, analytical, parallel_cycle)
 * :mod:`repro.experiments` -- per-table/figure reproduction drivers
 """
 
@@ -55,7 +55,7 @@ from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalysisResult", "Diagnostic", "LaunchShape", "Severity",

@@ -1,6 +1,6 @@
 """Pluggable simulation backends.
 
-Three backends ship built-in (registered at import):
+Four backends ship built-in (registered at import):
 
 * ``cycle`` -- the cycle-accurate event-driven simulator (default;
   exact, supports tracing);
@@ -8,7 +8,11 @@ Three backends ship built-in (registered at import):
   reference interpreter (exact; the vectorization cross-check);
 * ``analytical`` -- a first-order sampled-profile estimator with no
   per-cycle loop (fast, inexact; see
-  :mod:`repro.backends.analytical`).
+  :mod:`repro.backends.analytical`);
+* ``parallel_cycle`` -- the cycle engine sharded across worker
+  processes with epoch-based relaxed synchronization (fast on
+  multi-core hosts, bounded timing error; see
+  :mod:`repro.backends.parallel_cycle`).
 
 Pick one anywhere a ``backend=`` parameter or ``--backend`` flag
 appears; :mod:`repro.backends.validation` quantifies how two backends
@@ -20,6 +24,7 @@ from .base import (DEFAULT_BACKEND, BackendCapabilities, BackendError,
                    SimulationBackend, all_backends, get_backend,
                    list_backends, register_backend)
 from .cycle import CycleBackend, FunctionalRefBackend
+from .parallel_cycle import ParallelCycleBackend, ShardWorkerError
 from .validation import (BackendComparison, CounterDelta, KernelComparison,
                          compare_backends)
 
@@ -28,11 +33,13 @@ from .validation import (BackendComparison, CounterDelta, KernelComparison,
 CYCLE = register_backend(CycleBackend())
 FUNCTIONAL_REF = register_backend(FunctionalRefBackend())
 ANALYTICAL = register_backend(AnalyticalBackend())
+PARALLEL_CYCLE = register_backend(ParallelCycleBackend())
 
 __all__ = [
     "SimulationBackend", "BackendCapabilities", "BackendError",
     "DEFAULT_BACKEND", "register_backend", "get_backend", "list_backends",
     "all_backends", "CycleBackend", "FunctionalRefBackend",
-    "AnalyticalBackend", "BackendComparison", "KernelComparison",
+    "AnalyticalBackend", "ParallelCycleBackend", "ShardWorkerError",
+    "BackendComparison", "KernelComparison",
     "CounterDelta", "compare_backends",
 ]

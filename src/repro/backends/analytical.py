@@ -50,6 +50,7 @@ from ..isa.launch import KernelLaunch
 from ..sim.activity import ActivityReport
 from ..sim.cache import SetAssocCache
 from ..sim.config import GPUConfig
+from ..sim.core import max_resident_blocks
 from ..sim.dram import refresh_operations
 from ..sim.functional import (WarpContext, branch_taken_mask, execute_alu,
                               memory_addresses)
@@ -613,16 +614,8 @@ class AnalyticalBackend(SimulationBackend):
         #: Extrapolation factor: sampled-warp counts -> whole-grid counts.
         f = total_warps / sampled_warps
 
-        # Occupancy (mirrors Core.prepare).
-        limits = [config.max_blocks_per_core,
-                  config.max_threads_per_core // threads,
-                  config.max_warps_per_core // warps_per_block]
-        if kernel.smem_words > 0:
-            limits.append((config.smem_size // 4) // kernel.smem_words)
-        regs_per_block = threads * kernel.n_regs
-        if regs_per_block > 0:
-            limits.append(config.regfile_regs_per_core // regs_per_block)
-        concurrent = max(1, min(limits))
+        # Occupancy (the same limit arithmetic as Core.prepare).
+        concurrent = max(1, max_resident_blocks(config, kernel, threads))
 
         n_active = min(config.n_cores, n_blocks)
         blocks_per_core = math.ceil(n_blocks / n_active)

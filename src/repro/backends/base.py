@@ -94,6 +94,18 @@ class SimulationBackend(ABC):
                 untraced result.
         """
 
+    def cache_signature(self, job) -> Dict[str, str]:
+        """The backend's contribution to a job's content-addressed key.
+
+        The runner embeds this dict in :func:`repro.runner.cache.job_key`
+        for non-default backends (and whenever the job carries backend
+        options).  The base form is name+version; backends whose results
+        depend on tunables (e.g. ``parallel_cycle``'s epoch length and
+        shard count) override this to fold the *resolved* option values
+        in, so differently-tuned runs never collide in the cache.
+        """
+        return {"name": self.name, "version": str(self.version)}
+
     def check_tracer(self, tracer) -> None:
         """Raise :class:`BackendError` on an unsupported tracer."""
         if tracer is not None and not self.capabilities.supports_tracing:
@@ -105,7 +117,7 @@ class SimulationBackend(ABC):
                           launches: List[KernelLaunch], *,
                           max_cycles: float = 5e8,
                           trace_interval: Optional[float] = None,
-                          sink=None) -> List[SimulationOutput]:
+                          sink=None, **options) -> List[SimulationOutput]:
         """Run dependent kernels back-to-back on a shared memory image.
 
         Same contract as :func:`repro.sim.gpu.simulate_sequence` (and
@@ -132,7 +144,8 @@ class SimulationBackend(ABC):
                 seen = launch.gmem_words
             outputs.append(self.simulate(config, launch,
                                          max_cycles=max_cycles,
-                                         gmem=gmem, tracer=tracer))
+                                         gmem=gmem, tracer=tracer,
+                                         **options))
         return outputs
 
 

@@ -62,6 +62,13 @@ class KernelComparison:
         return (self.power_b_w - self.power_a_w) / self.power_a_w
 
     @property
+    def cycles_rel_error(self) -> float:
+        """Signed relative cycle-count error of B against A."""
+        if self.cycles_a == 0:
+            return 0.0
+        return (self.cycles_b - self.cycles_a) / self.cycles_a
+
+    @property
     def exact_match(self) -> bool:
         """Bit-identical activity (every counter equal)."""
         return all(d.a == d.b for d in self.activity_deltas) and \
@@ -96,6 +103,20 @@ class BackendComparison:
         return max(abs(k.power_rel_error) for k in self.kernels)
 
     @property
+    def mean_abs_cycles_error(self) -> float:
+        """Mean absolute relative cycle-count error of B vs A."""
+        if not self.kernels:
+            return 0.0
+        return sum(abs(k.cycles_rel_error) for k in self.kernels) \
+            / len(self.kernels)
+
+    @property
+    def max_abs_cycles_error(self) -> float:
+        if not self.kernels:
+            return 0.0
+        return max(abs(k.cycles_rel_error) for k in self.kernels)
+
+    @property
     def speedup(self) -> Optional[float]:
         """Fresh-run wall-clock speedup of B over A (None if cached)."""
         ta = sum(k.duration_a_s for k in self.kernels)
@@ -113,6 +134,8 @@ class BackendComparison:
             "exact_match": self.exact_match,
             "mean_abs_power_error": self.mean_abs_power_error,
             "max_abs_power_error": self.max_abs_power_error,
+            "mean_abs_cycles_error": self.mean_abs_cycles_error,
+            "max_abs_cycles_error": self.max_abs_cycles_error,
             "speedup": self.speedup,
             "kernels": [
                 {
@@ -122,6 +145,7 @@ class BackendComparison:
                     "chip_total_w": {self.backend_a: k.power_a_w,
                                      self.backend_b: k.power_b_w},
                     "power_rel_error": k.power_rel_error,
+                    "cycles_rel_error": k.cycles_rel_error,
                     "exact_match": k.exact_match,
                     "worst_counters": [
                         {"counter": d.counter, "a": d.a, "b": d.b,
@@ -150,13 +174,16 @@ def compare_backends(config: GPUConfig,
                      backend_b: str = "analytical",
                      jobs: Optional[int] = None, cache="auto",
                      max_cycles: float = 5e8,
+                     backend_b_options: Optional[Dict[str, Any]] = None,
                      progress=None) -> BackendComparison:
     """Run ``kernels`` on two backends and diff activity and power.
 
     Jobs go through :func:`repro.runner.run_jobs`, so ``jobs``/``cache``
     /``progress`` follow the runner's conventions (environment
     resolution when omitted) and the two backends' results land under
-    distinct cache keys.
+    distinct cache keys.  ``backend_b_options`` tunes the candidate
+    backend (e.g. ``parallel_cycle``'s ``epoch_cycles``/``n_shards``);
+    the reference backend always runs with its defaults.
     """
     from ..runner import SimJob, run_jobs
     # Touch the registry up front so an unknown name fails before any
@@ -164,7 +191,9 @@ def compare_backends(config: GPUConfig,
     get_backend(backend_a)
     get_backend(backend_b)
     job_list = [SimJob(config=config, kernel=name, backend=backend,
-                       max_cycles=max_cycles)
+                       max_cycles=max_cycles,
+                       backend_options=(backend_b_options
+                                        if backend == backend_b else None))
                 for backend in (backend_a, backend_b)
                 for name in kernels]
     results = run_jobs(job_list, n_jobs=jobs, cache=cache,

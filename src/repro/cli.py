@@ -141,16 +141,41 @@ def _cmd_run(args) -> int:
             print(f"backend {args.backend!r} does not support "
                   f"--trace-interval", file=sys.stderr)
             return 2
+    backend_options = None
+    if args.epoch_cycles is not None or args.shards is not None:
+        if args.backend != "parallel_cycle":
+            print("--epoch-cycles/--shards only apply to "
+                  "--backend parallel_cycle", file=sys.stderr)
+            return 2
+        backend_options = {}
+        if args.epoch_cycles is not None:
+            backend_options["epoch_cycles"] = args.epoch_cycles
+        if args.shards is not None:
+            backend_options["n_shards"] = args.shards
     sim = GPUSimPow(config)
-    jobs, cache, progress, timeout = _runner_options(args)
-    job, = run_jobs([SimJob(config=config, kernel=args.kernel,
-                            launch=launches[args.kernel],
-                            trace_interval=args.trace_interval,
-                            backend=args.backend)],
-                    n_jobs=jobs, cache=cache, progress=progress,
-                    timeout_s=timeout)
-    result = sim.run(launches[args.kernel], activity=job.activity,
-                     windows=job.windows,
+    sim_job = SimJob(config=config, kernel=args.kernel,
+                     launch=launches[args.kernel],
+                     trace_interval=args.trace_interval,
+                     backend=args.backend,
+                     backend_options=backend_options)
+    if isinstance(args.profile, str):
+        # Profile the backend's simulate itself: run the job in this
+        # process (no cache, no pool -- a cache hit or a worker-side
+        # run would leave nothing to measure).
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        out = sim_job.execute()
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        activity, windows = out.activity, out.windows
+    else:
+        jobs, cache, progress, timeout = _runner_options(args)
+        job, = run_jobs([sim_job], n_jobs=jobs, cache=cache,
+                        progress=progress, timeout_s=timeout)
+        activity, windows = job.activity, job.windows
+    result = sim.run(launches[args.kernel], activity=activity,
+                     windows=windows,
                      trace_interval=args.trace_interval,
                      backend=args.backend)
     suffix = "" if args.backend == "cycle" else f" ({args.backend} backend)"
@@ -163,10 +188,12 @@ def _cmd_run(args) -> int:
           f"{result.chip_dynamic_w:.2f} dynamic)")
     print(f"  DRAM power:    {result.power.dram.total_dynamic_w:10.2f} W")
     print(f"  energy/run:    {result.energy_j * 1e6:10.3f} uJ")
-    if args.profile:
+    if args.profile is True:
         print()
         print(result.power.gpu.format())
         print(result.power.dram.format())
+    elif isinstance(args.profile, str):
+        print(f"  cProfile stats written to {args.profile}")
     if result.trace is not None:
         from .telemetry import render_trace
         print()
@@ -400,8 +427,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one kernel's power")
     p_run.add_argument("kernel", help="kernel label (see `list`)")
     add_gpu_args(p_run)
-    p_run.add_argument("--profile", action="store_true",
-                       help="print the full component power tree")
+    p_run.add_argument("--profile", nargs="?", const=True, default=False,
+                       metavar="FILE",
+                       help="without FILE: print the full component power "
+                            "tree; with FILE: run the simulation under "
+                            "cProfile and write the stats there (read "
+                            "with `python -m pstats FILE`)")
+    p_run.add_argument("--epoch-cycles", type=float, default=None,
+                       metavar="N",
+                       help="parallel_cycle backend: epoch horizon in "
+                            "shader cycles (smaller = closer to serial "
+                            "timing; `inf` = one unbounded epoch)")
+    p_run.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="parallel_cycle backend: worker shard count "
+                            "(clamped to the config's cluster count)")
     p_run.add_argument("--save-trace", default=None, metavar="FILE",
                        help="save the activity trace as JSON")
     p_run.add_argument("--trace-interval", type=float, default=None,

@@ -142,7 +142,9 @@ class GPUSimPow:
             windows: Optional[List[ActivityWindow]] = None,
             trace_interval: Optional[float] = None,
             sink: Optional[TraceSink] = None,
-            backend: str = "cycle") -> SimulationResult:
+            backend: str = "cycle",
+            backend_options: Optional[Dict[str, Any]] = None,
+            ) -> SimulationResult:
         """Simulate ``launch`` and evaluate its power.
 
         A pre-computed ``activity`` report may be supplied to re-evaluate
@@ -163,6 +165,9 @@ class GPUSimPow:
             backend: Simulation backend name (``repro.backends``); for
                 replays (``activity`` given) it only records which
                 backend produced the supplied report.
+            backend_options: Extra keyword arguments for the backend's
+                ``simulate`` (e.g. ``epoch_cycles``/``n_shards`` for
+                ``parallel_cycle``); ignored for replays.
         """
         from ..backends import get_backend
         tracer = None
@@ -170,7 +175,8 @@ class GPUSimPow:
             if trace_interval is not None or sink is not None:
                 tracer = ActivityTracer(trace_interval or 1000.0, sink=sink)
             perf = get_backend(backend).simulate(self.config, launch,
-                                                 tracer=tracer)
+                                                 tracer=tracer,
+                                                 **(backend_options or {}))
             activity = perf.activity
         else:
             get_backend(backend)  # fail fast on unknown names
@@ -196,7 +202,9 @@ class GPUSimPow:
     def run_benchmark(self, name: str,
                       trace_interval: Optional[float] = None,
                       sink: Optional[TraceSink] = None,
-                      backend: str = "cycle") -> "BenchmarkResult":
+                      backend: str = "cycle",
+                      backend_options: Optional[Dict[str, Any]] = None,
+                      ) -> "BenchmarkResult":
         """Run all kernels of a Table I benchmark as a dependent chain.
 
         Kernels execute on a shared global-memory image (the way the
@@ -210,7 +218,7 @@ class GPUSimPow:
         launches = build_benchmark(name)
         outputs = get_backend(backend).simulate_sequence(
             self.config, launches, trace_interval=trace_interval,
-            sink=sink)
+            sink=sink, **(backend_options or {}))
         results = []
         for launch, perf in zip(launches, outputs):
             trace = None

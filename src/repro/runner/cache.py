@@ -100,10 +100,13 @@ def job_key(job: SimJob) -> str:
     jobs keep the exact keys (and cache entries) they had before
     telemetry existed; a traced job is a distinct artifact because its
     entry also stores the per-window deltas.  Likewise ``backend``
-    enters only for non-default backends -- default (``cycle``) jobs
-    keep their pre-backend-era keys, and each other backend's results
-    are keyed by its name *and* model version, so bumping a backend
-    version invalidates exactly that backend's entries.
+    enters only for non-default backends (or when backend options are
+    set) -- default (``cycle``) jobs keep their pre-backend-era keys,
+    and each other backend's results are keyed by its
+    ``cache_signature``: at least its name *and* model version (so
+    bumping a backend version invalidates exactly that backend's
+    entries), plus any resolved result-changing options (e.g.
+    ``parallel_cycle``'s epoch length and shard count).
     """
     payload = {
         "sim_version": _version_tag(),
@@ -113,11 +116,9 @@ def job_key(job: SimJob) -> str:
     }
     if job.trace_interval is not None:
         payload["trace_interval"] = repr(float(job.trace_interval))
-    if job.backend != "cycle":
+    if job.backend != "cycle" or getattr(job, "backend_options", None):
         from ..backends import get_backend
-        backend = get_backend(job.backend)
-        payload["backend"] = {"name": backend.name,
-                              "version": str(backend.version)}
+        payload["backend"] = get_backend(job.backend).cache_signature(job)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -332,6 +332,9 @@ class _Running:
     conn: "connection.Connection"
     started: float
     deadline: Optional[float]
+    #: The warm :class:`~repro.runner.pool.PoolWorker` serving this
+    #: attempt, when it runs on the shared pool (None: one-shot worker).
+    pooled: Optional[object] = None
 
 
 # -- the engine ---------------------------------------------------------------
@@ -507,19 +510,33 @@ def run_jobs(jobs: Sequence[SimJob],
     def run_pool(queue: Deque[Tuple[int, int]]) -> bool:
         """Supervised pool executor; False means "degrade to serial".
 
-        Each attempt gets its own worker process and pipe, so a SIGKILL
-        surfaces as EOF/sentinel instead of hanging the sweep, and a
-        timeout is enforced by killing exactly that worker.  On return
-        ``False``, ``queue`` holds every unfinished (index, attempt).
+        Attempts normally run on the process-wide *warm pool*
+        (:mod:`repro.runner.pool`): workers persist across jobs and
+        across ``run_jobs`` calls, so small jobs don't pay a fork each.
+        With a fault plan active, every attempt gets its own one-shot
+        worker instead (injected ``kill`` faults need a process that
+        dies with the attempt).  Either way the supervisor watches the
+        same pipe + process sentinel, so a SIGKILL surfaces as
+        EOF/sentinel instead of hanging the sweep, and a timeout is
+        enforced by killing exactly that worker.  On return ``False``,
+        ``queue`` holds every unfinished (index, attempt).
         """
+        from .pool import shared_pool
         nonlocal_state = {"consecutive_crashes": 0}
         ctx = _pool_context()
+        warm = None if plan else shared_pool()
         running: Dict[int, _Running] = {}
         hold: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
         task_ids = itertools.count()
 
-        def reap(task_id: int) -> _Running:
+        def reap(task_id: int, recycle: bool = False) -> _Running:
             task = running.pop(task_id)
+            if task.pooled is not None:
+                if recycle:
+                    warm.release(task.pooled)
+                else:
+                    warm.discard(task.pooled)
+                return task
             try:
                 task.conn.close()
             except OSError:
@@ -556,27 +573,41 @@ def run_jobs(jobs: Sequence[SimJob],
                 while queue and len(running) < workers:
                     index, attempt = queue.popleft()
                     fault = _fault_for(plan, jobs[index].label, attempt)
-                    parent_conn, child_conn = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=_worker_main,
-                        args=(child_conn, (index, jobs[index], fault, False)),
-                        daemon=True)
-                    try:
-                        proc.start()
-                    except OSError:
-                        # Pool-level failure (fork/spawn refused):
-                        # degrade rather than abort the sweep.
-                        parent_conn.close()
+                    payload = (index, jobs[index], fault, False)
+                    pooled = None
+                    if warm is not None:
+                        try:
+                            pooled = warm.acquire(ctx)
+                            pooled.submit(payload)
+                        except OSError:
+                            if pooled is not None:
+                                warm.discard(pooled)
+                            queue.appendleft((index, attempt))
+                            return abandon()
+                        proc, parent_conn = pooled.proc, pooled.conn
+                    else:
+                        parent_conn, child_conn = ctx.Pipe(duplex=False)
+                        proc = ctx.Process(
+                            target=_worker_main,
+                            args=(child_conn, payload),
+                            daemon=True)
+                        try:
+                            proc.start()
+                        except OSError:
+                            # Pool-level failure (fork/spawn refused):
+                            # degrade rather than abort the sweep.
+                            parent_conn.close()
+                            child_conn.close()
+                            queue.appendleft((index, attempt))
+                            return abandon()
                         child_conn.close()
-                        queue.appendleft((index, attempt))
-                        return abandon()
-                    child_conn.close()
                     limit = job_timeout(index)
                     started = time.monotonic()
                     running[next(task_ids)] = _Running(
                         index=index, attempt=attempt, proc=proc,
                         conn=parent_conn, started=started,
-                        deadline=None if limit is None else started + limit)
+                        deadline=None if limit is None else started + limit,
+                        pooled=pooled)
                 if not running:
                     if hold:
                         time.sleep(max(0.0, min(h[0] for h in hold) - now))
@@ -602,7 +633,7 @@ def run_jobs(jobs: Sequence[SimJob],
                     except (EOFError, OSError):
                         out = None
                     if out is not None:
-                        reap(task_id)
+                        reap(task_id, recycle=True)
                         _, act, win, cycles, duration, pid, error = out
                         if error is not None:
                             record_failure(add_event(

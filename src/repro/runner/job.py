@@ -13,7 +13,7 @@ crosses the pipe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..isa.launch import KernelLaunch
 from ..sim.activity import ActivityReport
@@ -86,6 +86,10 @@ class SimJob:
         backend: Simulation backend name (``repro.backends`` registry).
             Non-default backends enter the cache key, so each backend's
             results are distinct artifacts.
+        backend_options: Extra keyword arguments for the backend's
+            ``simulate`` (e.g. ``epoch_cycles``/``n_shards`` for
+            ``parallel_cycle``).  Result-changing options enter the
+            cache key through the backend's ``cache_signature``.
         timeout_s: Per-job wall-clock budget in seconds, overriding the
             engine-wide default (``run_jobs(timeout_s=...)`` /
             ``$REPRO_JOB_TIMEOUT``).  Execution policy, not a simulation
@@ -99,6 +103,7 @@ class SimJob:
     tag: str = ""
     trace_interval: Optional[float] = None
     backend: str = "cycle"
+    backend_options: Optional[Dict[str, object]] = None
     timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -152,7 +157,8 @@ class SimJob:
             tracer = ActivityTracer(self.trace_interval)
         return backend.simulate(self.config, self.resolve_launch(),
                                 max_cycles=self.max_cycles,
-                                tracer=tracer)
+                                tracer=tracer,
+                                **(self.backend_options or {}))
 
 
 @dataclass

@@ -85,6 +85,22 @@ class SetAssocCache:
         ways, tag = self._locate(addr_bytes)
         return tag in ways
 
+    def install(self, addr_bytes: int) -> None:
+        """Insert a line without counting an access (coherence warm-up).
+
+        Used by sharded simulation to mirror lines that *other* shards
+        filled into the logically-shared cache: the line lands at the
+        LRU end so it serves future hits but yields to the local working
+        set, and no local counter moves -- the access was already
+        counted by the shard that performed it.
+        """
+        ways, tag = self._locate(addr_bytes)
+        if tag in ways:
+            return
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.insert(0, tag)
+
     def flush(self) -> None:
         """Invalidate all lines (counters are kept)."""
         for ways in self._sets:

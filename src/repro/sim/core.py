@@ -32,6 +32,30 @@ class SimulationDeadlock(RuntimeError):
     """Raised when live warps exist but none can ever issue again."""
 
 
+def max_resident_blocks(config: GPUConfig, kernel: Kernel,
+                        threads_per_block: int) -> int:
+    """How many blocks of ``kernel`` one core can hold concurrently.
+
+    The binding resource is the tightest of the block-slot, thread,
+    warp, shared-memory and register-file limits.  Shared by
+    :meth:`Core.prepare`, the analytical backend's occupancy model and
+    the parallel shard coordinator's dispatch planner, so all three
+    agree exactly on per-core capacity.
+    """
+    warps_per_block = -(-threads_per_block // config.warp_size)
+    limits = [
+        config.max_blocks_per_core,
+        config.max_threads_per_core // threads_per_block,
+        config.max_warps_per_core // warps_per_block,
+    ]
+    if kernel.smem_words > 0:
+        limits.append((config.smem_size // 4) // kernel.smem_words)
+    regs_per_block = threads_per_block * kernel.n_regs
+    if regs_per_block > 0:
+        limits.append(config.regfile_regs_per_core // regs_per_block)
+    return max(0, min(limits))
+
+
 @dataclass
 class BlockResidence:
     """One thread block resident on the core."""
@@ -92,20 +116,8 @@ class Core:
         self.kernel = kernel
         self.launch = launch
         self.ldst = LoadStoreUnit(self.config, self.memsys, gmem, cmem)
-        cfg = self.config
-        threads = launch.block.count
-        warps_per_block = -(-threads // cfg.warp_size)
-        limits = [
-            cfg.max_blocks_per_core,
-            cfg.max_threads_per_core // threads,
-            cfg.max_warps_per_core // warps_per_block,
-        ]
-        if kernel.smem_words > 0:
-            limits.append((cfg.smem_size // 4) // kernel.smem_words)
-        regs_per_block = threads * kernel.n_regs
-        if regs_per_block > 0:
-            limits.append(cfg.regfile_regs_per_core // regs_per_block)
-        self.max_concurrent_blocks = max(0, min(limits))
+        self.max_concurrent_blocks = max_resident_blocks(
+            self.config, kernel, launch.block.count)
 
     @property
     def free_slots(self) -> int:

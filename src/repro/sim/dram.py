@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from .config import GPUConfig
+from .noc import UTIL_WINDOW
 
 
 @dataclass
@@ -45,6 +46,16 @@ class DRAMChannel:
         self.reads = 0
         self.writes = 0
         self.busy_time = 0.0
+        #: Ratio of unseen (cross-shard) traffic to local traffic on a
+        #: partitioned simulation; 0.0 (serial) leaves timing exactly
+        #: untouched.  Foreign bus load is estimated with zero lag as
+        #: ``ratio`` times the locally measured instantaneous bus
+        #: utilization (see :class:`repro.sim.noc.NoC`).
+        self.background = 0.0
+
+    def set_background(self, ratio: float) -> None:
+        """Set the foreign-to-local traffic ratio (0 = serial)."""
+        self.background = ratio
 
     def _burst_cycles(self) -> float:
         """Data-bus occupancy of one burst, in shader cycles.
@@ -84,10 +95,27 @@ class DRAMChannel:
         data_ready = cmd_start + cfg.dram_t_cas * self.scale
         # The shared data bus serialises bursts.
         burst = self._burst_cycles()
-        data_start = max(data_ready, self.bus_free)
-        completion = data_start + burst
-        self.bus_free = completion
         self.busy_time += burst
+        if self.background:
+            # Unseen cross-shard traffic, estimated as `background`
+            # times the measured local utilization: each local burst
+            # drags that many interleaved foreign bursts across the
+            # shared bus (occupancy stretch), and its own data lands
+            # halfway through the shared slot on average.  Utilization
+            # is read off the bus's own busy timeline (how far
+            # committed work reaches into the lookback window), so a
+            # queued burst registers immediately; ``busy_time`` stays
+            # raw so shards exchange real load.
+            reach = self.bus_free - (now - UTIL_WINDOW)
+            util = min(1.0, max(0.0, reach / UTIL_WINDOW))
+            foreign = self.background * util
+            data_start = max(data_ready, self.bus_free)
+            self.bus_free = data_start + burst * (1.0 + foreign)
+            completion = data_start + burst * (1.0 + 0.5 * foreign)
+        else:
+            data_start = max(data_ready, self.bus_free)
+            completion = data_start + burst
+            self.bus_free = completion
         if is_write:
             self.writes += 1
         else:

@@ -14,7 +14,6 @@ verification) and the aggregated :class:`~repro.sim.activity.ActivityReport`
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
@@ -25,6 +24,7 @@ from .activity import ActivityReport
 from .config import GPUConfig
 from .core import Core
 from .memsys import MemorySystem
+from .shard import ShardEngine, accumulate_core, accumulate_memsys
 
 if TYPE_CHECKING:  # telemetry imports sim, never the other way around
     from ..telemetry import ActivityTracer, ActivityWindow
@@ -114,63 +114,26 @@ class GPU:
         if gmem is None:
             gmem = launch.build_global_memory()
         cmem = launch.const_init
-        for core in self.cores:
-            core.prepare(launch.kernel, launch, gmem, cmem)
+
+        # One full-width shard with an unbounded horizon reproduces the
+        # historical inline event loop bit for bit (same heap tuples,
+        # same tie-breaks, same float arithmetic).
+        engine = ShardEngine(config, self.memsys, self.cores,
+                             self._dispatch_order)
+        engine.prepare(launch, gmem, cmem)
         if tracer is not None:
             tracer.begin(lambda t: self._collect(launch, t),
                          config=config, launch=launch)
+            engine.tracer = tracer
 
-        pending = list(range(launch.grid.count))
-        next_block = 0
-        # Initial breadth-first placement.
-        for core_idx in self._dispatch_order:
-            if next_block >= len(pending):
-                break
-            core = self.cores[core_idx]
-            if core.free_slots > 0:
-                core.assign_block(pending[next_block])
-                next_block += 1
-        # Keep filling in the same order until slots run out.
-        filling = True
-        while filling and next_block < len(pending):
-            filling = False
-            for core_idx in self._dispatch_order:
-                if next_block >= len(pending):
-                    break
-                core = self.cores[core_idx]
-                if core.free_slots > 0:
-                    core.assign_block(pending[next_block])
-                    next_block += 1
-                    filling = True
+        engine.extend_queue(range(launch.grid.count))
+        engine.place_initial()
+        engine.seed()
+        engine.step_epoch(None, max_cycles, launch.kernel.name)
 
-        # Event loop: each entry is (wake_time, core_index).
-        heap = [(0.0, i) for i, core in enumerate(self.cores)
-                if not core.idle]
-        heapq.heapify(heap)
-        final_time = 0.0
-        while heap:
-            now, idx = heapq.heappop(heap)
-            if now > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles:.0f} cycles "
-                    f"(kernel {launch.kernel.name!r})"
-                )
-            if tracer is not None and now > tracer.next_boundary:
-                tracer.cut(now)
-            core = self.cores[idx]
-            wake = core.step(now)
-            final_time = max(final_time, now)
-            # Feed newly freed slots.
-            while next_block < len(pending) and core.free_slots > 0 \
-                    and core.ever_used:
-                core.assign_block(pending[next_block])
-                next_block += 1
-                wake = now + 1.0 if wake is None else min(wake, now + 1.0)
-            if wake is not None:
-                heapq.heappush(heap, (wake, idx))
-
-        if next_block < len(pending):
+        if engine.unplaced:
             raise RuntimeError("scheduler finished with unplaced blocks")
+        final_time = engine.final_time
 
         activity = self._collect(launch, final_time)
         windows = None
@@ -203,72 +166,9 @@ class GPU:
         act.active_clusters = len(clusters)
 
         for core in self.cores:
-            act.core_busy_cycles += core.busy_cycles
-            for reason, stalled in core.stall_cycles.items():
-                name = f"stall_{reason}"
-                setattr(act, name, getattr(act, name) + stalled)
-            wcu = core.wcu
-            act.fetches += wcu.fetches
-            act.decodes += wcu.decodes
-            act.icache_reads += wcu.icache.reads
-            act.icache_misses += wcu.icache.misses
-            act.wst_reads += wcu.wst_reads
-            act.wst_writes += wcu.wst_writes
-            act.ibuffer_searches += wcu.ibuffer.searches
-            act.ibuffer_writes += wcu.ibuffer.writes
-            act.scoreboard_searches += wcu.scoreboard.searches
-            act.scoreboard_writes += wcu.scoreboard.writes
-            act.fetch_scheduler_ops += wcu.fetch_scheduler_ops
-            act.issue_scheduler_ops += wcu.issue_scheduler_ops
-            act.stack_pushes += core.stack_pushes
-            act.stack_pops += core.stack_pops
-            act.stack_reads += core.stack_reads
-            act.divergent_branches += core.divergent_branches
-            act.branches += core.branches
-            act.barriers += core.barriers
-            act.issued_instructions += core.issued
-            act.int_ops += core.exec_units.lane_ops("int")
-            act.fp_ops += core.exec_units.lane_ops("fp")
-            act.sfu_ops += core.exec_units.lane_ops("sfu")
-            rf = core.regfile
-            act.rf_reads += rf.operand_reads
-            act.rf_writes += rf.operand_writes
-            act.rf_bank_accesses += rf.bank_accesses
-            act.collector_reads += rf.collector_reads
-            act.collector_writes += rf.collector_writes
-            act.rf_xbar_transfers += rf.xbar_transfers
-            ldst = core.ldst
-            if ldst is not None:
-                act.mem_instructions += ldst.instructions
-                act.agu_ops += ldst.agu.sub_agu_ops
-                act.coalescer_accesses += ldst.coalescer.accesses
-                act.coalescer_prt_writes += ldst.coalescer.prt_writes
-                act.mem_transactions += ldst.coalescer.transactions
-                act.smem_accesses += ldst.smem_unit.bank_accesses
-                act.smem_conflict_cycles += ldst.smem_unit.conflict_phases
-                act.smem_xbar_transfers += ldst.smem_unit.xbar_transfers
-                act.bank_conflict_checks += ldst.smem_unit.conflict_checks
-                if ldst.l1 is not None:
-                    act.l1_reads += ldst.l1.reads
-                    act.l1_writes += ldst.l1.writes
-                    act.l1_misses += ldst.l1.misses
-                act.const_reads += ldst.const_requests
-                act.const_misses += ldst.const_misses
-                act.tex_requests += ldst.tex_requests
-                act.tex_accesses += ldst.tex_accesses
-                act.tex_misses += ldst.tex_misses
-
-        mem = self.memsys
-        act.noc_flits += mem.noc.flits
-        act.l2_reads += mem.l2_reads
-        act.l2_writes += mem.l2_writes
-        act.l2_misses += mem.l2_misses
-        act.mc_accesses += mem.mc_accesses
-        act.dram_activates += mem.dram.activates
-        act.dram_precharges += mem.dram.precharges
-        act.dram_reads += mem.dram.reads
-        act.dram_writes += mem.dram.writes
-        act.dram_refreshes += mem.dram.refresh_count(act.runtime_s)
+            accumulate_core(act, core)
+        accumulate_memsys(act, self.memsys)
+        act.dram_refreshes += self.memsys.dram.refresh_count(act.runtime_s)
         return act
 
 

@@ -38,6 +38,9 @@ class MemorySystem:
         self.mc_accesses = 0
         self._l2_latency_shader = (config.l2_latency_uncore_cycles
                                    * config.shader_to_uncore)
+        #: Line addresses allocated into the L2 since the last drain
+        #: (shard coordination: see :meth:`drain_l2_fills`).
+        self._l2_fills: List[int] = []
 
     def transaction(self, addr_bytes: int, size_bytes: int, now: float,
                     is_write: bool) -> float:
@@ -55,6 +58,8 @@ class MemorySystem:
             bank = self.l2_banks[partition]
             hit = bank.lookup(addr_bytes, is_write=is_write,
                               allocate=not is_write)
+            if not hit and not is_write:
+                self._l2_fills.append(addr_bytes)
             service_done = arrival + self._l2_latency_shader
             if not hit:
                 service_done = self._dram_fill(addr_bytes, size_bytes,
@@ -82,6 +87,50 @@ class MemorySystem:
             )
             offset += burst
         return completion
+
+    # -- shard coordination ------------------------------------------------------
+
+    def set_background(self, ratio: float) -> None:
+        """Model foreign shared-resource load from other shards.
+
+        ``ratio`` is the estimated foreign-to-local traffic ratio: the
+        NoC links and DRAM buses model the other shards' load as
+        ``ratio`` times their own instantaneously measured utilization
+        (zero-lag symmetry estimate, corrected by the coordinator at
+        epoch barriers).  ``0`` restores exact serial timing.
+        """
+        self.noc.set_background(ratio)
+        for channel in self.dram.channels:
+            channel.set_background(ratio)
+
+    def drain_l2_fills(self) -> List[int]:
+        """Return and clear the L2 line fills since the last drain.
+
+        Shards report these at epoch barriers; the coordinator fans each
+        shard's fills out to the others (:meth:`install_l2_lines`) so
+        the logically-shared L2 keeps serving cross-shard hits with at
+        most one epoch of lag.
+        """
+        fills, self._l2_fills = self._l2_fills, []
+        return fills
+
+    def install_l2_lines(self, addrs: List[int]) -> None:
+        """Warm the L2 with lines other shards filled (no counting)."""
+        if self.l2_banks is None:
+            return
+        line = self.config.l2_line
+        n = self.config.n_mem_partitions
+        for addr in addrs:
+            self.l2_banks[(addr // line) % n].install(addr)
+
+    @property
+    def uncore_busy(self) -> float:
+        """Raw (uninflated) shader-cycles of uncore bandwidth consumed:
+        NoC link occupancy plus DRAM data-bus occupancy.  Shards
+        exchange deltas of this at epoch barriers to estimate each
+        other's background load."""
+        return (self.noc.flits * self.noc.scale
+                + sum(ch.busy_time for ch in self.dram.channels))
 
     # -- aggregate statistics ---------------------------------------------------
 

@@ -13,6 +13,12 @@ from typing import List
 
 from .config import GPUConfig
 
+#: Lookback horizon (shader cycles) for the instantaneous-utilization
+#: estimate driving the background-load model: a link is "utilized" to
+#: the extent its busy timeline reaches into the last UTIL_WINDOW
+#: cycles before an arrival.
+UTIL_WINDOW = 32.0
+
 
 class NoC:
     """Crossbar interconnect with per-destination-port serialization."""
@@ -24,6 +30,17 @@ class NoC:
         self.port_free: List[float] = [0.0] * config.n_mem_partitions
         self.flits = 0
         self.transfers = 0
+        #: Ratio of unseen (cross-shard) traffic to local traffic on a
+        #: partitioned simulation; 0.0 (serial) leaves timing exactly
+        #: untouched.  Foreign load is estimated with ZERO lag as
+        #: ``ratio`` times the locally *measured* instantaneous link
+        #: utilization -- contention bursts are modelled while they
+        #: happen, not one epoch later.
+        self.background = 0.0
+
+    def set_background(self, ratio: float) -> None:
+        """Set the foreign-to-local traffic ratio (0 = serial)."""
+        self.background = ratio
 
     def flits_for(self, payload_bytes: int) -> int:
         """Number of flits a payload of ``payload_bytes`` occupies
@@ -39,8 +56,26 @@ class NoC:
         self.transfers += 1
         port = partition % len(self.port_free)
         start = max(now, self.port_free[port])
-        # One flit per uncore cycle on the link, plus 4 uncore cycles of
-        # router/traversal latency.
-        finish = start + (n_flits + 4) * self.scale
-        self.port_free[port] = start + n_flits * self.scale
+        if self.background:
+            # Unseen cross-shard traffic, estimated as `background`
+            # times the measured local utilization: each local packet
+            # drags that many interleaved foreign packets through the
+            # port (occupancy stretch), and its own flits land halfway
+            # through the shared slot on average.  Utilization is read
+            # off the port's own busy timeline -- how far its committed
+            # work reaches into the lookback window -- which sees a
+            # burst the moment it queues, even when all its request
+            # timestamps cluster at one cycle.
+            reach = self.port_free[port] - (now - UTIL_WINDOW)
+            util = min(1.0, max(0.0, reach / UTIL_WINDOW))
+            foreign = self.background * util
+            occupancy = n_flits * self.scale
+            finish = (start + occupancy * (1.0 + 0.5 * foreign)
+                      + 4 * self.scale)
+            self.port_free[port] = start + occupancy * (1.0 + foreign)
+        else:
+            # One flit per uncore cycle on the link, plus 4 uncore
+            # cycles of router/traversal latency.
+            finish = start + (n_flits + 4) * self.scale
+            self.port_free[port] = start + n_flits * self.scale
         return finish

@@ -1,0 +1,384 @@
+"""Epoch-steppable shard engine: the resumable heart of ``GPU.run``.
+
+A :class:`ShardEngine` owns a subset of a GPU's cores plus one
+:class:`~repro.sim.memsys.MemorySystem` and advances them with exactly
+the event loop :meth:`repro.sim.gpu.GPU.run` used to inline: pop the
+earliest ``(wake_time, core_id)`` event, step that core, feed freed
+block slots from the pending queue, push the next wake.  The difference
+is that the loop is *resumable*: :meth:`step_epoch` advances only up to
+an epoch horizon and can be called again after new blocks were granted
+(:meth:`extend_queue` + :meth:`barrier_fill`) at the epoch barrier.
+
+Two callers drive it:
+
+* :meth:`GPU.run` builds ONE engine over all cores with an unbounded
+  horizon -- that degenerate case is bit-identical to the historical
+  inline loop (same heap tuples, same tie-breaks, same float
+  arithmetic), which the determinism tests pin down;
+* the ``parallel_cycle`` backend builds one engine per worker over a
+  cluster-aligned core subset and steps them epoch by epoch, exchanging
+  block grants and background-load estimates at the barriers.
+
+The per-core and uncore counter accumulation used by ``GPU._collect``
+lives here too (:func:`accumulate_core`, :func:`accumulate_memsys`), so
+shard-local reports and the whole-GPU report are built from the same
+additions in the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .activity import ActivityReport
+from .config import GPUConfig
+from .core import Core
+from .memsys import MemorySystem
+
+
+def plan_initial_placement(order: Sequence[int], capacity: int,
+                           n_blocks: int) -> Tuple[List[Tuple[int, int]], int]:
+    """Plan the Fig. 4 breadth-first initial placement without cores.
+
+    Mirrors :meth:`ShardEngine.place_initial` exactly for the uniform
+    per-core ``capacity`` that :func:`repro.sim.core.max_resident_blocks`
+    computes: repeated passes over ``order`` assign one block per core
+    per pass until a pass places nothing or blocks run out.
+
+    Returns ``(assignments, n_placed)`` where ``assignments`` is the
+    ``(core_id, block_id)`` list in global placement order.
+    """
+    assigned: Dict[int, int] = {cid: 0 for cid in order}
+    assignments: List[Tuple[int, int]] = []
+    next_block = 0
+    filling = True
+    while filling and next_block < n_blocks:
+        filling = False
+        for cid in order:
+            if next_block >= n_blocks:
+                break
+            if assigned[cid] < capacity:
+                assignments.append((cid, next_block))
+                assigned[cid] += 1
+                next_block += 1
+                filling = True
+    return assignments, next_block
+
+
+def accumulate_core(act: ActivityReport, core: Core) -> None:
+    """Add one core's counters into ``act`` (the ``_collect`` body)."""
+    act.core_busy_cycles += core.busy_cycles
+    for reason, stalled in core.stall_cycles.items():
+        name = f"stall_{reason}"
+        setattr(act, name, getattr(act, name) + stalled)
+    wcu = core.wcu
+    act.fetches += wcu.fetches
+    act.decodes += wcu.decodes
+    act.icache_reads += wcu.icache.reads
+    act.icache_misses += wcu.icache.misses
+    act.wst_reads += wcu.wst_reads
+    act.wst_writes += wcu.wst_writes
+    act.ibuffer_searches += wcu.ibuffer.searches
+    act.ibuffer_writes += wcu.ibuffer.writes
+    act.scoreboard_searches += wcu.scoreboard.searches
+    act.scoreboard_writes += wcu.scoreboard.writes
+    act.fetch_scheduler_ops += wcu.fetch_scheduler_ops
+    act.issue_scheduler_ops += wcu.issue_scheduler_ops
+    act.stack_pushes += core.stack_pushes
+    act.stack_pops += core.stack_pops
+    act.stack_reads += core.stack_reads
+    act.divergent_branches += core.divergent_branches
+    act.branches += core.branches
+    act.barriers += core.barriers
+    act.issued_instructions += core.issued
+    act.int_ops += core.exec_units.lane_ops("int")
+    act.fp_ops += core.exec_units.lane_ops("fp")
+    act.sfu_ops += core.exec_units.lane_ops("sfu")
+    rf = core.regfile
+    act.rf_reads += rf.operand_reads
+    act.rf_writes += rf.operand_writes
+    act.rf_bank_accesses += rf.bank_accesses
+    act.collector_reads += rf.collector_reads
+    act.collector_writes += rf.collector_writes
+    act.rf_xbar_transfers += rf.xbar_transfers
+    ldst = core.ldst
+    if ldst is not None:
+        act.mem_instructions += ldst.instructions
+        act.agu_ops += ldst.agu.sub_agu_ops
+        act.coalescer_accesses += ldst.coalescer.accesses
+        act.coalescer_prt_writes += ldst.coalescer.prt_writes
+        act.mem_transactions += ldst.coalescer.transactions
+        act.smem_accesses += ldst.smem_unit.bank_accesses
+        act.smem_conflict_cycles += ldst.smem_unit.conflict_phases
+        act.smem_xbar_transfers += ldst.smem_unit.xbar_transfers
+        act.bank_conflict_checks += ldst.smem_unit.conflict_checks
+        if ldst.l1 is not None:
+            act.l1_reads += ldst.l1.reads
+            act.l1_writes += ldst.l1.writes
+            act.l1_misses += ldst.l1.misses
+        act.const_reads += ldst.const_requests
+        act.const_misses += ldst.const_misses
+        act.tex_requests += ldst.tex_requests
+        act.tex_accesses += ldst.tex_accesses
+        act.tex_misses += ldst.tex_misses
+
+
+def accumulate_memsys(act: ActivityReport, mem: MemorySystem) -> None:
+    """Add the uncore counters into ``act`` (all but time-derived
+    ``dram_refreshes``, which the caller owns)."""
+    act.noc_flits += mem.noc.flits
+    act.l2_reads += mem.l2_reads
+    act.l2_writes += mem.l2_writes
+    act.l2_misses += mem.l2_misses
+    act.mc_accesses += mem.mc_accesses
+    act.dram_activates += mem.dram.activates
+    act.dram_precharges += mem.dram.precharges
+    act.dram_reads += mem.dram.reads
+    act.dram_writes += mem.dram.writes
+
+
+class BoundaryRecorder:
+    """Shard-local cumulative activity snapshots on the window grid.
+
+    The sharded counterpart of :class:`~repro.telemetry.ActivityTracer`:
+    it cuts on the same ``k * interval`` boundaries with the same lazy
+    rule (a boundary closes when an event pops strictly past it), plus
+    :meth:`cut_through` for epoch barriers -- every boundary at or below
+    the horizon can be closed there because all remaining local events
+    lie beyond it, and the barrier's own block grants land *after* the
+    flush, at the barrier timestamp.
+
+    It records ``(boundary, cumulative report)`` pairs instead of
+    deltas; the merge layer sums shard cumulatives per boundary and only
+    then takes window deltas, which keeps the sum-of-windows ==
+    aggregate invariant exact across shards.
+    """
+
+    def __init__(self, interval_cycles: float,
+                 snapshot: Callable[[float], ActivityReport]) -> None:
+        self.interval = float(interval_cycles)
+        self.snapshot = snapshot
+        self.next_boundary = self.interval
+        self.boundaries: List[Tuple[float, ActivityReport]] = []
+
+    def cut(self, now: float) -> None:
+        """Close every boundary strictly before ``now``."""
+        while now > self.next_boundary:
+            self.boundaries.append(
+                (self.next_boundary, self.snapshot(self.next_boundary)))
+            self.next_boundary += self.interval
+
+    def cut_through(self, limit: float) -> None:
+        """Close every boundary up to and including ``limit``."""
+        while self.next_boundary <= limit:
+            self.boundaries.append(
+                (self.next_boundary, self.snapshot(self.next_boundary)))
+            self.next_boundary += self.interval
+
+
+class ShardEngine:
+    """Event loop over a core subset, steppable in bounded epochs.
+
+    All timestamps are absolute shader cycles.  Heap entries are
+    ``(wake_time, core_id)`` with *global* core ids, so the full-width
+    engine pops events in exactly the order the old inline loop did.
+    A core has at most one live heap entry; an epoch-barrier wake that
+    precedes a core's scheduled wake supersedes it (the stale later
+    entry is skipped on pop via ``_earliest``).
+    """
+
+    def __init__(self, config: GPUConfig, memsys: MemorySystem,
+                 cores: Sequence[Core],
+                 dispatch_order: Sequence[int]) -> None:
+        self.config = config
+        self.memsys = memsys
+        self.cores_list: List[Core] = sorted(cores, key=lambda c: c.core_id)
+        self.cores_by_id: Dict[int, Core] = {c.core_id: c
+                                             for c in self.cores_list}
+        self.dispatch_order = list(dispatch_order)
+        self.queue: List[int] = []
+        self.next_block = 0
+        self.blocks_assigned = 0
+        self.clock = 0.0
+        self.final_time = 0.0
+        self._heap: List[Tuple[float, int]] = []
+        self._earliest: Dict[int, Optional[float]] = {}
+        self.tracer = None      # ActivityTracer (full-width engine only)
+        self.recorder: Optional[BoundaryRecorder] = None
+        self.launch = None
+
+    # -- setup -------------------------------------------------------------------
+
+    def prepare(self, launch, gmem, cmem) -> None:
+        """Bind the launch to every core of the shard."""
+        self.launch = launch
+        for core in self.cores_list:
+            core.prepare(launch.kernel, launch, gmem, cmem)
+
+    def extend_queue(self, blocks: Iterable[int]) -> None:
+        """Append granted block ids to the shard-local pending queue."""
+        self.queue.extend(blocks)
+
+    def load_assignments(self, assignments: Sequence[Tuple[int, int]]) -> None:
+        """Apply a pre-planned initial placement (``(core_id, block)``)."""
+        for cid, block in assignments:
+            self._assign(self.cores_by_id[cid], block)
+
+    def place_initial(self) -> None:
+        """Fig. 4 breadth-first placement from the local queue.
+
+        One block per core per pass over the dispatch order, repeated
+        until a full pass places nothing -- state-identical to the two
+        placement loops ``GPU.run`` used to inline.
+        """
+        filling = True
+        while filling and self.next_block < len(self.queue):
+            filling = False
+            for cid in self.dispatch_order:
+                if self.next_block >= len(self.queue):
+                    break
+                core = self.cores_by_id[cid]
+                if core.free_slots > 0:
+                    self._assign(core, self.queue[self.next_block])
+                    self.next_block += 1
+                    filling = True
+
+    def seed(self) -> None:
+        """Arm the event heap: every core holding work wakes at cycle 0."""
+        for core in self.cores_list:
+            if not core.idle:
+                self._push(0.0, core.core_id)
+
+    # -- event plumbing ----------------------------------------------------------
+
+    def _assign(self, core: Core, block_id: int) -> None:
+        core.assign_block(block_id)
+        self.blocks_assigned += 1
+
+    def _push(self, wake: float, cid: int) -> None:
+        cur = self._earliest.get(cid)
+        if cur is not None and cur <= wake:
+            return  # an earlier live entry already covers this core
+        self._earliest[cid] = wake
+        heapq.heappush(self._heap, (wake, cid))
+
+    @property
+    def active(self) -> bool:
+        """Whether any core still has a live scheduled event."""
+        return any(t is not None for t in self._earliest.values())
+
+    @property
+    def unplaced(self) -> bool:
+        """Queued blocks remain that no core ever picked up."""
+        return self.next_block < len(self.queue)
+
+    @property
+    def backlog(self) -> int:
+        """Granted-but-not-yet-placed blocks in the local queue."""
+        return len(self.queue) - self.next_block
+
+    @property
+    def usable_slots(self) -> int:
+        """Free block slots on cores the scheduler will actually feed
+        (mid-run feeding only targets cores that have ever held work)."""
+        return sum(core.free_slots for core in self.cores_list
+                   if core.ever_used)
+
+    # -- the loop ----------------------------------------------------------------
+
+    def step_epoch(self, horizon: Optional[float], max_cycles: float,
+                   kernel_name: str) -> bool:
+        """Advance until no event remains at or before ``horizon``.
+
+        ``horizon=None`` means unbounded (run the shard dry) -- the
+        degenerate case that reproduces the serial loop bit for bit.
+        Returns whether live events remain past the horizon.
+        """
+        heap = self._heap
+        bound = math.inf if horizon is None else horizon
+        while heap and heap[0][0] <= bound:
+            now, cid = heapq.heappop(heap)
+            if self._earliest.get(cid) != now:
+                continue  # superseded by an earlier barrier wake
+            self._earliest[cid] = None
+            if now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles:.0f} cycles "
+                    f"(kernel {kernel_name!r})"
+                )
+            if self.tracer is not None and now > self.tracer.next_boundary:
+                self.tracer.cut(now)
+            if self.recorder is not None and now > self.recorder.next_boundary:
+                self.recorder.cut(now)
+            core = self.cores_by_id[cid]
+            wake = core.step(now)
+            self.final_time = max(self.final_time, now)
+            # Feed newly freed slots.
+            while self.next_block < len(self.queue) and core.free_slots > 0 \
+                    and core.ever_used:
+                self._assign(core, self.queue[self.next_block])
+                self.next_block += 1
+                wake = now + 1.0 if wake is None else min(wake, now + 1.0)
+            if wake is not None:
+                self._push(wake, cid)
+        if horizon is None:
+            self.clock = self.final_time
+        else:
+            self.clock = horizon
+            if self.recorder is not None:
+                # Safe to close boundaries <= horizon: every remaining
+                # local event lies strictly beyond them.
+                self.recorder.cut_through(horizon)
+        return self.active
+
+    def barrier_fill(self) -> None:
+        """Place freshly granted blocks at the epoch barrier.
+
+        Same breadth-first pass discipline as the initial placement,
+        restricted (like mid-run feeding) to cores that have ever held
+        work; every core that receives blocks is woken at the barrier
+        timestamp.
+        """
+        filling = True
+        while filling and self.next_block < len(self.queue):
+            filling = False
+            for cid in self.dispatch_order:
+                if self.next_block >= len(self.queue):
+                    break
+                core = self.cores_by_id[cid]
+                if core.ever_used and core.free_slots > 0:
+                    self._assign(core, self.queue[self.next_block])
+                    self.next_block += 1
+                    self._push(self.clock, cid)
+                    filling = True
+
+    # -- reporting ---------------------------------------------------------------
+
+    def collect(self, t: float) -> ActivityReport:
+        """Shard-local cumulative activity at time ``t``.
+
+        Launch-level fields hold the *shard's* monotone counts (blocks
+        actually assigned here, and the warps/threads they imply), so
+        shard reports sum exactly to the whole-launch totals.
+        ``dram_refreshes`` stays 0: it is a pure function of runtime and
+        the merge layer rederives it from the merged clock.
+        """
+        config = self.config
+        launch = self.launch
+        act = ActivityReport()
+        act.shader_cycles = t
+        act.runtime_s = t / config.shader_clock_hz
+        threads = launch.block.count
+        warps_per_block = -(-threads // config.warp_size)
+        act.blocks_launched = self.blocks_assigned
+        act.warps_launched = warps_per_block * self.blocks_assigned
+        act.threads_launched = threads * self.blocks_assigned
+        used = [c for c in self.cores_list if c.blocks_executed > 0]
+        act.active_cores = len(used)
+        act.active_clusters = len(
+            {c.core_id // config.cores_per_cluster for c in used})
+        for core in self.cores_list:
+            accumulate_core(act, core)
+        accumulate_memsys(act, self.memsys)
+        return act

@@ -131,6 +131,21 @@ class ActivityTracer:
             self.sink.on_end(aggregate, final_cycles)
         return self.windows
 
+    # -- driven by sharded backends ----------------------------------------------
+
+    def emit_cumulative(self, end_cycles: float,
+                        snapshot: ActivityReport) -> None:
+        """Emit one window from an externally merged cumulative snapshot.
+
+        Sharded backends cannot drive :meth:`cut` -- there is no single
+        monotonic clock -- so they align every shard's snapshots on the
+        same ``k * interval`` boundary grid, merge them per boundary,
+        and feed the merged cumulatives here in time order.  Windows
+        produced this way obey the same sum-of-windows == aggregate
+        invariant as serially cut ones.
+        """
+        self._emit(end_cycles, snapshot)
+
     # -- internals ---------------------------------------------------------------
 
     def _emit(self, end_cycles: float, snapshot: ActivityReport) -> None:
