@@ -48,6 +48,7 @@ from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
 from .core.validation import SuiteValidation, validate_suite
 from .power.chip import Chip
 from .power.result import PowerNode, PowerReport
+from .request import SimRequest
 from .runner import (JobFailure, JobResult, ResultCache, RunnerError,
                      SimJob, run_jobs, set_fault_plan)
 from .sim.config import GPUConfig, gt240, gtx580, preset
@@ -55,7 +56,7 @@ from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AnalysisResult", "Diagnostic", "LaunchShape", "Severity",
@@ -63,8 +64,8 @@ __all__ = [
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",
-    "SimJob", "JobResult", "JobFailure", "ResultCache", "RunnerError",
-    "run_jobs", "set_fault_plan", "SIM_VERSION",
+    "SimRequest", "SimJob", "JobResult", "JobFailure", "ResultCache",
+    "RunnerError", "run_jobs", "set_fault_plan", "SIM_VERSION",
     "SimulationBackend", "register_backend", "get_backend",
     "list_backends",
     "ActivityTracer", "ActivityWindow", "TraceSink", "NullSink",

@@ -15,6 +15,8 @@ serves both from a shell:
     gpusimpow validate --gpu GTX580 --no-cache
     gpusimpow cache stats
     gpusimpow cache clear --yes
+    gpusimpow serve --port 8642 --journal service.jsonl
+    gpusimpow submit vectorAdd --gpu GT240 --wait --json
 
 ``run`` and ``validate`` execute their simulations through
 :mod:`repro.runner`: ``--jobs N`` fans the per-kernel simulations out
@@ -399,6 +401,97 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the power-estimation service daemon until interrupted."""
+    import asyncio
+
+    from .runner import AUTO
+    from .service import PowerService
+    from .service.daemon import ServiceDaemon
+    cache = None if args.no_cache else (args.cache or AUTO)
+    service = PowerService(cache=cache,
+                           max_parallel=args.max_parallel,
+                           tenant_quota=args.quota,
+                           queue_limit=args.queue_limit,
+                           journal_path=args.journal,
+                           timeout_s=args.timeout,
+                           lint=not args.no_lint)
+
+    async def _serve() -> None:
+        daemon = ServiceDaemon(service, host=args.host, port=args.port)
+        await daemon.start()
+        print(f"gpusimpow service listening on "
+              f"http://{daemon.host}:{daemon.port}",
+              file=sys.stderr, flush=True)
+        try:
+            await daemon.serve_forever()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit one kernel to a running service daemon."""
+    import json as _json
+    import urllib.error
+
+    from .request import SimRequest
+    from .service.client import ServiceClient, ServiceError
+    launches = all_kernel_launches()
+    if args.kernel not in launches:
+        print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
+              file=sys.stderr)
+        return 2
+    if _check_backend(args.backend):
+        return 2
+    request = SimRequest(config=_load_config(args), kernel=args.kernel,
+                         trace_interval=args.trace_interval,
+                         backend=args.backend)
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        payload = client.submit(request, priority=args.priority,
+                                wait=args.wait,
+                                wait_timeout_s=args.wait_timeout)
+    except ServiceError as exc:
+        if args.as_json:
+            print(_json.dumps({"status": exc.status, **exc.payload},
+                              sort_keys=True, indent=2))
+        else:
+            print(f"rejected: {exc}", file=sys.stderr)
+            for diag in exc.payload.get("diagnostics", []):
+                print(f"  {diag.get('rule')}: {diag.get('message')}",
+                      file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"cannot reach service at {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(_json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    result = payload.get("result") or {}
+    summary = result.get("summary")
+    if summary is None:
+        print(f"accepted: submission {payload.get('submission')} "
+              f"(state {payload.get('state', 'queued')}); poll "
+              f"{args.url}/v1/jobs/{payload.get('submission')}")
+        return 0
+    tag = "cache hit" if payload.get("cached") else "simulated"
+    print(f"{request.label} via {args.url} ({tag}, "
+          f"{payload['elapsed_s']:.2f}s):")
+    print(f"  runtime:     {summary['runtime_s'] * 1e6:10.2f} us")
+    print(f"  chip power:  {summary['chip_total_w']:10.2f} W "
+          f"({summary['static_w']:.2f} static + "
+          f"{summary['dynamic_w']:.2f} dynamic)")
+    print(f"  card total:  {summary['card_total_w']:10.2f} W")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
@@ -512,6 +605,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(p_val)
     _add_backend_arg(p_val)
     p_val.set_defaults(func=_cmd_validate)
+
+    p_serve = sub.add_parser("serve",
+                             help="run the power-estimation service "
+                                  "daemon")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port; 0 picks a free one "
+                              "(default: 8642)")
+    p_serve.add_argument("--journal", default=None, metavar="FILE",
+                         help="append-only submission journal; on "
+                              "restart, unanswered submissions are "
+                              "replayed from it")
+    p_serve.add_argument("--cache", default=None, metavar="DIR",
+                         help="result cache directory (default: "
+                              "REPRO_CACHE_DIR or ~/.cache/gpusimpow)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the content-addressed result "
+                              "cache")
+    p_serve.add_argument("--max-parallel", type=int, default=2,
+                         metavar="N",
+                         help="concurrent simulation slots "
+                              "(default: 2)")
+    p_serve.add_argument("--quota", type=int, default=8, metavar="N",
+                         help="per-tenant live-submission cap; beyond "
+                              "it, 429 (default: 8)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         metavar="N",
+                         help="bound on queued tasks across tenants; "
+                              "beyond it, 503 (default: 64)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock budget for scheduled "
+                              "simulations")
+    p_serve.add_argument("--no-lint", action="store_true",
+                         help="skip static-analysis admission control "
+                              "(verifier-failing kernels then reach "
+                              "the simulator)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser("submit",
+                              help="submit a kernel to a running "
+                                   "service")
+    p_submit.add_argument("kernel", help="kernel label (see `list`)")
+    add_gpu_args(p_submit)
+    p_submit.add_argument("--url", default="http://127.0.0.1:8642",
+                          help="service base URL (default: "
+                               "http://127.0.0.1:8642)")
+    p_submit.add_argument("--tenant", default="cli",
+                          help="tenant id for quota accounting "
+                               "(default: cli)")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="scheduling priority; higher runs "
+                               "first (default: 0)")
+    p_submit.add_argument("--trace-interval", type=float, default=None,
+                          metavar="CYCLES",
+                          help="request a windowed power trace every "
+                               "N shader cycles")
+    _add_backend_arg(p_submit)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="hold the request until the result is "
+                               "ready and print it")
+    p_submit.add_argument("--wait-timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="server-side hold budget for --wait "
+                               "(default: 600)")
+    p_submit.add_argument("--json", action="store_true",
+                          dest="as_json",
+                          help="print the raw JSON response (includes "
+                               "cached + elapsed_s)")
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_cache = sub.add_parser("cache",
                              help="inspect or clear the result cache")

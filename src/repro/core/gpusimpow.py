@@ -8,7 +8,7 @@ area results.  This is the class downstream users interact with.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..isa.launch import KernelLaunch
 from ..power.chip import Chip
@@ -19,6 +19,9 @@ from ..sim.config import GPUConfig
 from ..sim.gpu import SimulationOutput
 from ..telemetry import (ActivityTracer, ActivityWindow, PowerTrace,
                          TraceSink, windows_from_dicts, windows_to_dicts)
+
+if TYPE_CHECKING:
+    from ..request import SimRequest
 
 
 @dataclass
@@ -137,15 +140,53 @@ class GPUSimPow:
             peak_dynamic_w=self.chip.peak_dynamic_w(),
         )
 
-    def run(self, launch: KernelLaunch,
+    def _as_request(self, request: Optional["SimRequest"],
+                    launch: Optional[KernelLaunch],
+                    kernel: Optional[str],
+                    trace_interval: Optional[float],
+                    backend: str,
+                    backend_options: Optional[Dict[str, Any]],
+                    ) -> "SimRequest":
+        """Normalise keyword-shim arguments into one ``SimRequest``.
+
+        Either ``request`` is given alone, or the legacy keywords are --
+        mixing the two is ambiguous and rejected.  A request bound to a
+        different config than this facade is also rejected (the chip
+        model was built for ``self.config``).
+        """
+        from ..request import SimRequest
+        if request is not None:
+            if (launch is not None or kernel is not None
+                    or trace_interval is not None or backend != "cycle"
+                    or backend_options is not None):
+                raise ValueError(
+                    "pass either request= or the keyword form, not both")
+            if request.config != self.config:
+                raise ValueError(
+                    f"request is for config {request.config.name!r}, "
+                    f"but this simulator models {self.config.name!r}")
+            return request
+        return SimRequest(config=self.config, kernel=kernel,
+                          launch=launch, trace_interval=trace_interval,
+                          backend=backend,
+                          backend_options=backend_options)
+
+    def run(self, launch: Optional[KernelLaunch] = None,
             activity: Optional[ActivityReport] = None,
             windows: Optional[List[ActivityWindow]] = None,
             trace_interval: Optional[float] = None,
             sink: Optional[TraceSink] = None,
             backend: str = "cycle",
             backend_options: Optional[Dict[str, Any]] = None,
+            *, request: Optional["SimRequest"] = None,
             ) -> SimulationResult:
-        """Simulate ``launch`` and evaluate its power.
+        """Simulate one request (or ``launch``) and evaluate its power.
+
+        The primary entry point takes a canonical
+        :class:`~repro.request.SimRequest` -- the same object the
+        runner, the result cache and the service speak.  The positional
+        ``launch`` + keyword form is a back-compat shim that constructs
+        the request internally, with identical behavior.
 
         A pre-computed ``activity`` report may be supplied to re-evaluate
         power without re-running the performance simulation (e.g. for
@@ -168,42 +209,52 @@ class GPUSimPow:
             backend_options: Extra keyword arguments for the backend's
                 ``simulate`` (e.g. ``epoch_cycles``/``n_shards`` for
                 ``parallel_cycle``); ignored for replays.
+            request: The canonical description of what to simulate;
+                mutually exclusive with ``launch``/``trace_interval``/
+                ``backend``/``backend_options`` (``sink`` composes with
+                it, as do the ``activity``/``windows`` replay inputs).
         """
         from ..backends import get_backend
+        req = self._as_request(request, launch, None, trace_interval,
+                               backend, backend_options)
+        run_launch = req.resolve_launch()
         tracer = None
         if activity is None:
-            if trace_interval is not None or sink is not None:
-                tracer = ActivityTracer(trace_interval or 1000.0, sink=sink)
-            perf = get_backend(backend).simulate(self.config, launch,
-                                                 tracer=tracer,
-                                                 **(backend_options or {}))
+            if req.trace_interval is not None or sink is not None:
+                tracer = ActivityTracer(req.trace_interval or 1000.0,
+                                        sink=sink)
+            perf = get_backend(req.backend).simulate(
+                self.config, run_launch, max_cycles=req.max_cycles,
+                tracer=tracer, **(req.backend_options or {}))
             activity = perf.activity
         else:
-            get_backend(backend)  # fail fast on unknown names
-            perf = SimulationOutput.replay(self.config, launch, activity,
-                                           windows=windows)
+            get_backend(req.backend)  # fail fast on unknown names
+            perf = SimulationOutput.replay(self.config, run_launch,
+                                           activity, windows=windows)
         power = self.chip.evaluate(activity)
         trace = None
         if perf.windows:
             interval = (tracer.interval_cycles if tracer is not None
-                        else trace_interval or perf.windows[0].end_cycles)
+                        else req.trace_interval
+                        or perf.windows[0].end_cycles)
             trace = PowerTrace.from_windows(
-                self.config, launch.kernel.name, perf.windows, interval,
-                chip=self.chip)
+                self.config, run_launch.kernel.name, perf.windows,
+                interval, chip=self.chip)
         return SimulationResult(
-            kernel_name=launch.kernel.name,
+            kernel_name=run_launch.kernel.name,
             config=self.config,
             performance=perf,
             power=power,
             trace=trace,
-            backend=backend,
+            backend=req.backend,
         )
 
-    def run_benchmark(self, name: str,
+    def run_benchmark(self, name: Optional[str] = None,
                       trace_interval: Optional[float] = None,
                       sink: Optional[TraceSink] = None,
                       backend: str = "cycle",
                       backend_options: Optional[Dict[str, Any]] = None,
+                      *, request: Optional["SimRequest"] = None,
                       ) -> "BenchmarkResult":
         """Run all kernels of a Table I benchmark as a dependent chain.
 
@@ -211,30 +262,37 @@ class GPUSimPow:
         real multi-kernel benchmarks run); each kernel gets its own
         power evaluation -- and its own power trace when
         ``trace_interval`` is set -- and the totals aggregate the whole
-        benchmark.
+        benchmark.  As with :meth:`run`, a ``request`` (its ``kernel``
+        field naming the benchmark) is the primary form and the keyword
+        signature is a shim over it.
         """
         from ..backends import get_backend
         from ..workloads import build_benchmark
-        launches = build_benchmark(name)
-        outputs = get_backend(backend).simulate_sequence(
-            self.config, launches, trace_interval=trace_interval,
-            sink=sink, **(backend_options or {}))
+        req = self._as_request(request, None, name, trace_interval,
+                               backend, backend_options)
+        if not req.kernel:
+            raise ValueError("run_benchmark needs a benchmark name")
+        launches = build_benchmark(req.kernel)
+        outputs = get_backend(req.backend).simulate_sequence(
+            self.config, launches, max_cycles=req.max_cycles,
+            trace_interval=req.trace_interval,
+            sink=sink, **(req.backend_options or {}))
         results = []
         for launch, perf in zip(launches, outputs):
             trace = None
             if perf.windows:
                 trace = PowerTrace.from_windows(
                     self.config, launch.kernel.name, perf.windows,
-                    trace_interval or 1000.0, chip=self.chip)
+                    req.trace_interval or 1000.0, chip=self.chip)
             results.append(SimulationResult(
                 kernel_name=launch.kernel.name,
                 config=self.config,
                 performance=perf,
                 power=self.chip.evaluate(perf.activity),
                 trace=trace,
-                backend=backend,
+                backend=req.backend,
             ))
-        return BenchmarkResult(benchmark=name, kernels=results)
+        return BenchmarkResult(benchmark=req.kernel, kernels=results)
 
 
 @dataclass

@@ -37,12 +37,12 @@ class Experiment:
     Attributes:
         name: Registry key (``table4``, ``fig6``, ``powertrace``, ...).
         description: One line of what the artifact shows.
-        compute: Produces the structured result.  Called with
-            ``jobs=``/``cache=`` keywords when ``uses_runner`` is true,
-            with no arguments otherwise.
+        compute: Produces the structured result.  Every driver accepts
+            the uniform ``(jobs, cache, progress)`` keyword trio --
+            drivers that do not simulate through :mod:`repro.runner`
+            simply ignore it -- so the registry dispatches without
+            per-driver special cases.
         render: Structured result -> human-readable text.
-        uses_runner: Whether ``compute`` accepts ``jobs``/``cache``
-            (drivers that simulate through :mod:`repro.runner`).
         artifacts: Optional extra artifact writer ``(result, out_dir)
             -> paths`` for experiments that emit more than their text
             rendering (e.g. trace files).
@@ -52,10 +52,10 @@ class Experiment:
     description: str
     compute: Callable[..., Any]
     render: RenderFn
-    uses_runner: bool = False
     artifacts: Optional[ArtifactsFn] = field(default=None, repr=False)
 
     def run(self, jobs: Optional[int] = None, cache=AUTO,
+            progress: Optional[Callable] = None,
             out_dir=None, echo: bool = False) -> List[str]:
         """Compute, render, and (optionally) write this artifact.
 
@@ -63,6 +63,9 @@ class Experiment:
             jobs: Worker processes for runner-backed drivers.
             cache: Result cache (:data:`repro.runner.AUTO` resolves the
                 configured/environment default).
+            progress: Runner progress callback ``(done, total, result)``
+                forwarded to drivers that fan out through
+                :func:`repro.runner.run_jobs`.
             out_dir: When given, the rendering is written to
                 ``<out_dir>/<name>.txt`` and any extra artifacts next to
                 it.
@@ -72,10 +75,7 @@ class Experiment:
         Returns:
             Paths of every artifact written (empty without ``out_dir``).
         """
-        if self.uses_runner:
-            result = self.compute(jobs=jobs, cache=cache)
-        else:
-            result = self.compute()
+        result = self.compute(jobs=jobs, cache=cache, progress=progress)
         text = self.render(result)
         if echo:
             print(text)

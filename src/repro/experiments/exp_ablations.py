@@ -142,7 +142,7 @@ def node_scaling() -> List[NodeScalingPoint]:
     return points
 
 
-def run(jobs=None, cache=AUTO) -> Dict[str, list]:
+def run(jobs=None, cache=AUTO, progress=None) -> Dict[str, list]:
     """Run every ablation; returns a dict of result lists.
 
     All simulation-backed ablations are gathered into a single runner
@@ -157,7 +157,7 @@ def run(jobs=None, cache=AUTO) -> Dict[str, list]:
         ("warp_size", _warp_size_specs()),
     ]
     specs = [spec for _, group in groups for spec in group]
-    points = _measure(specs, jobs=jobs, cache=cache)
+    points = _measure(specs, jobs=jobs, cache=cache, progress=progress)
     results: Dict[str, list] = {}
     offset = 0
     for name, group in groups:
@@ -191,7 +191,6 @@ EXPERIMENT = base.register(base.Experiment(
     description="Ablation studies over the power model's design choices",
     compute=run,
     render=format_table,
-    uses_runner=True,
 ))
 
 

@@ -32,8 +32,13 @@ CROSSCHECK_KERNELS = ("vectorAdd", "matrixMul")
 GPU = "GT240"
 
 
-def run() -> Dict[str, Any]:
-    """Analyze every bundled kernel and cross-check the pinned pair."""
+def run(jobs=None, cache=None, progress=None) -> Dict[str, Any]:
+    """Analyze every bundled kernel and cross-check the pinned pair.
+
+    Static analysis needs no simulation; the ``(jobs, cache, progress)``
+    trio is the uniform registry signature and is unused here.
+    """
+    del jobs, cache, progress
     config = preset(GPU)
     launches = all_kernel_launches()
     kernels: List[Dict[str, Any]] = []
@@ -103,6 +108,5 @@ EXPERIMENT = register(Experiment(
     description="static kernel analysis + static-vs-dynamic cross-check",
     compute=run,
     render=format_table,
-    uses_runner=False,
     artifacts=_artifacts,
 ))

@@ -56,7 +56,8 @@ class BackendsResult:
     relaxed: BackendComparison    # cycle vs parallel_cycle
 
 
-def run(jobs: Optional[int] = None, cache=AUTO) -> BackendsResult:
+def run(jobs: Optional[int] = None, cache=AUTO,
+        progress=None) -> BackendsResult:
     """Run the exact/estimate comparisons on the GT240 and the relaxed
     (sharded) comparison on the GTX580."""
     config = gt240()
@@ -64,17 +65,20 @@ def run(jobs: Optional[int] = None, cache=AUTO) -> BackendsResult:
         exact=compare_backends(config, EXACT_KERNELS,
                                backend_a="cycle",
                                backend_b="functional_ref",
-                               jobs=jobs, cache=cache),
+                               jobs=jobs, cache=cache,
+                               progress=progress),
         estimate=compare_backends(config, ESTIMATE_KERNELS,
                                   backend_a="cycle",
                                   backend_b="analytical",
-                                  jobs=jobs, cache=cache),
+                                  jobs=jobs, cache=cache,
+                                  progress=progress),
         relaxed=compare_backends(gtx580(), ESTIMATE_KERNELS,
                                  backend_a="cycle",
                                  backend_b="parallel_cycle",
                                  backend_b_options={
                                      "n_shards": PARALLEL_SHARDS},
-                                 jobs=jobs, cache=cache),
+                                 jobs=jobs, cache=cache,
+                                 progress=progress),
     )
 
 
@@ -132,7 +136,6 @@ EXPERIMENT = base.register(base.Experiment(
                 "+ sharded relaxation error",
     compute=run,
     render=format_table,
-    uses_runner=True,
     artifacts=write_report,
 ))
 

@@ -125,7 +125,8 @@ class DivergencePoint:
     unit_dynamic_w: Dict[str, float]
 
 
-def run() -> List[DivergencePoint]:
+def run(jobs=None, cache=None,
+        progress=None) -> List[DivergencePoint]:
     """Simulate the three variants and collect per-unit power."""
     rng = np.random.default_rng(6)
     data = rng.uniform(-1, 1, N)

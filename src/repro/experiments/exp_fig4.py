@@ -42,7 +42,8 @@ class StaircaseResult:
         return [b - a for a, b in zip(powers, powers[1:])]
 
 
-def run(config: GPUConfig | None = None, seed: int = 5) -> StaircaseResult:
+def run(config: GPUConfig | None = None, seed: int = 5,
+        jobs=None, cache=None, progress=None) -> StaircaseResult:
     """Run the Fig. 4 experiment."""
     config = config or gt240()
     points = run_cluster_staircase(config, seed=seed)

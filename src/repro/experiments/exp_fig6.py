@@ -117,7 +117,6 @@ EXPERIMENT = base.register(base.Experiment(
     description="Fig. 6: measured vs. simulated power on both GPUs",
     compute=run,
     render=_render,
-    uses_runner=True,
 ))
 
 

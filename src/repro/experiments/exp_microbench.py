@@ -36,7 +36,8 @@ class MicrobenchResult:
         return self.fp_result.energy_per_op_j * 1e12
 
 
-def run(config: GPUConfig | None = None, seed: int = 3) -> MicrobenchResult:
+def run(config: GPUConfig | None = None, seed: int = 3,
+        jobs=None, cache=None, progress=None) -> MicrobenchResult:
     """Derive the INT and FP per-operation energies on the virtual card."""
     config = config or gt240()
     return MicrobenchResult(

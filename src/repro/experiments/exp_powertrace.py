@@ -41,13 +41,14 @@ class PowerTraceResult:
 
 def run(kernel: str = DEFAULT_KERNEL,
         interval_cycles: float = DEFAULT_INTERVAL_CYCLES,
-        jobs: Optional[int] = None, cache=AUTO) -> PowerTraceResult:
+        jobs: Optional[int] = None, cache=AUTO,
+        progress=None) -> PowerTraceResult:
     """Trace ``kernel`` on the GT240 through the pooled runner."""
     config = gt240()
     launch = all_kernel_launches()[kernel]
     job, = run_jobs([SimJob(config=config, kernel=kernel, launch=launch,
                             trace_interval=interval_cycles)],
-                    n_jobs=jobs, cache=cache)
+                    n_jobs=jobs, cache=cache, progress=progress)
     result = GPUSimPow(config).run(launch, activity=job.activity,
                                    windows=job.windows,
                                    trace_interval=interval_cycles)
@@ -87,7 +88,6 @@ EXPERIMENT = base.register(base.Experiment(
     description="Power over time for a Table I benchmark (Fig. 5 view)",
     compute=run,
     render=format_table,
-    uses_runner=True,
     artifacts=write_artifacts,
 ))
 

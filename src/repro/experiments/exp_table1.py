@@ -31,7 +31,8 @@ PAPER_TABLE1 = {
 }
 
 
-def run() -> List[Dict[str, object]]:
+def run(jobs=None, cache=None,
+        progress=None) -> List[Dict[str, object]]:
     """One row per benchmark, with its kernels enumerated."""
     rows = []
     for name in benchmark_names():

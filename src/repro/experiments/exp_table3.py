@@ -30,7 +30,8 @@ PAPER_TABLE3 = {
 }
 
 
-def run() -> Dict[str, Dict[str, str]]:
+def run(jobs=None, cache=None,
+        progress=None) -> Dict[str, Dict[str, str]]:
     """Rows: feature -> {measurement, simulation} for this reproduction."""
     python = f"{sys.version_info.major}.{sys.version_info.minor}" \
              f".{sys.version_info.micro}"

@@ -99,7 +99,6 @@ EXPERIMENT = base.register(base.Experiment(
     description="Table IV: static power and area for GT240 and GTX580",
     compute=run,
     render=format_table,
-    uses_runner=True,
 ))
 
 

@@ -49,13 +49,15 @@ class Table5:
     kernel: str = "BlackScholes"
 
 
-def run(benchmark: str = "BlackScholes", jobs=None, cache=AUTO) -> Table5:
+def run(benchmark: str = "BlackScholes", jobs=None, cache=AUTO,
+        progress=None) -> Table5:
     """Regenerate Table V for ``benchmark`` on the GT240."""
     config = gt240()
     sim = GPUSimPow(config)
     launch = all_kernel_launches()[benchmark]
-    job, = run_jobs([SimJob(config=config, kernel=benchmark, launch=launch)],
-                    n_jobs=jobs, cache=cache)
+    job, = run_jobs([SimJob(config=config, kernel=benchmark,
+                            launch=launch)],
+                    n_jobs=jobs, cache=cache, progress=progress)
     result = sim.run(launch, activity=job.activity)
     gpu = result.power.gpu
     cores = gpu.child("Cores")
@@ -114,7 +116,6 @@ EXPERIMENT = base.register(base.Experiment(
     description="Table V: BlackScholes power breakdown on the GT240",
     compute=run,
     render=format_table,
-    uses_runner=True,
 ))
 
 

@@ -1,0 +1,218 @@
+"""The canonical simulation request: one currency for every layer.
+
+Before this module existed, four layers each re-spelled the same
+sprawling keyword set -- :meth:`repro.core.gpusimpow.GPUSimPow.run`,
+:class:`repro.runner.SimJob`, the runner's content-addressed cache key,
+and (now) the service's HTTP body schema.  :class:`SimRequest` is the
+single description of "simulate this kernel on this config with these
+knobs" that all of them share:
+
+* ``GPUSimPow.run(request=...)`` / ``run_benchmark(request=...)`` --
+  the facade's primary entry points (the old keyword signatures remain
+  as thin shims constructing a request internally);
+* ``SimJob.from_request(...)`` / ``SimJob.to_request()`` -- the runner
+  descriptor is a request plus execution policy;
+* :func:`repro.runner.cache.request_key` -- the cache key is a digest
+  of the request (``SimRequest.digest()``);
+* ``POST /v1/submit`` -- the service accepts ``SimRequest.to_dict()``
+  as its body and deduplicates in-flight work by ``digest()``.
+
+A request is pure *simulation input* plus execution policy; it carries
+no results and no process-level settings (worker counts, cache
+locations).  It round-trips through :mod:`repro.serialize` exactly --
+including explicit launches with their kernel IR and memory images --
+so a request that crossed HTTP has the same digest as the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .isa.launch import KernelLaunch
+from .isa.serialize import launch_from_dict, launch_to_dict
+from .serialize import Serializable
+from .sim.config import GPUConfig
+
+#: Default simulation watchdog (mirrors :class:`repro.runner.SimJob`).
+DEFAULT_MAX_CYCLES = 5e8
+
+
+@dataclass
+class SimRequest(Serializable):
+    """Everything needed to name -- and reproduce -- one simulation.
+
+    Attributes:
+        config: The architecture to simulate.
+        kernel: Workload label from Table I (``repro.workloads``),
+            resolved to a launch on demand; also the display label.
+            For :meth:`GPUSimPow.run_benchmark` requests it may name a
+            Table I *benchmark* instead.
+        launch: Explicit launch descriptor; takes precedence over
+            ``kernel`` for execution (both may be set -- ``kernel``
+            then only labels the request).
+        max_cycles: Simulation watchdog, forwarded to the backend.
+        trace_interval: Telemetry window length in shader cycles; when
+            set, results carry per-window activity deltas (and the
+            interval becomes part of the digest).
+        backend: Simulation backend name (``repro.backends`` registry).
+        backend_options: Extra keyword arguments for the backend's
+            ``simulate``; result-changing options enter the digest
+            through the backend's ``cache_signature``.
+        timeout_s: Per-attempt wall-clock budget in seconds (execution
+            policy -- deliberately *not* part of the digest).
+        tag: Optional display label overriding the derived one.
+        tags: Free-form string metadata (tenant hints, experiment ids);
+            carried through the service and the journal, never part of
+            the digest.
+    """
+
+    config: GPUConfig
+    kernel: Optional[str] = None
+    launch: Optional[KernelLaunch] = None
+    max_cycles: float = DEFAULT_MAX_CYCLES
+    trace_interval: Optional[float] = None
+    backend: str = "cycle"
+    backend_options: Optional[Dict[str, Any]] = None
+    timeout_s: Optional[float] = None
+    tag: str = ""
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kernel is None and self.launch is None:
+            raise ValueError("SimRequest needs a kernel label or a launch")
+        if self.trace_interval is not None \
+                and not self.trace_interval > 0:
+            raise ValueError(f"trace_interval must be positive, "
+                             f"got {self.trace_interval!r}")
+        if not self.backend:
+            raise ValueError("SimRequest.backend must be a backend name")
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ValueError(f"timeout_s must be positive, "
+                             f"got {self.timeout_s!r}")
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Human-readable name for progress/error surfacing."""
+        if self.tag:
+            return self.tag
+        name = self.kernel or (self.launch.kernel.name if self.launch
+                               else "?")
+        return f"{name}@{self.config.name}"
+
+    def resolve_launch(self) -> KernelLaunch:
+        """The launch to execute (resolving workload labels if needed).
+
+        Workload labels resolve through
+        :func:`repro.workloads.all_kernel_launches`, which builds
+        launches from a fixed seed -- so a label names the same launch
+        (and the same digest) in every process.
+        """
+        if self.launch is not None:
+            return self.launch
+        from .workloads import all_kernel_launches
+        launches = all_kernel_launches()
+        if self.kernel not in launches:
+            raise KeyError(f"unknown workload kernel {self.kernel!r}")
+        return launches[self.kernel]
+
+    def digest(self) -> str:
+        """Content-addressed identity (hex SHA-256).
+
+        This is *the* cache key: two requests with the same digest name
+        the same simulation result, whatever layer they came through.
+        Execution policy (``timeout_s``) and presentation (``tag``,
+        ``tags``) are excluded.
+        """
+        from .runner.cache import request_key
+        return request_key(self)
+
+    # -- conversions ----------------------------------------------------------
+
+    def to_job(self) -> "Any":
+        """The runner descriptor executing this request."""
+        from .runner.job import SimJob
+        return SimJob.from_request(self)
+
+    @classmethod
+    def from_job(cls, job: "Any") -> "SimRequest":
+        """The request a :class:`~repro.runner.SimJob` describes."""
+        return cls(
+            config=job.config,
+            kernel=job.kernel,
+            launch=job.launch,
+            max_cycles=job.max_cycles,
+            trace_interval=job.trace_interval,
+            backend=job.backend,
+            backend_options=(None if job.backend_options is None
+                             else dict(job.backend_options)),
+            timeout_s=job.timeout_s,
+            tag=job.tag,
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the service's HTTP body schema).
+
+        Sparse: defaults are omitted, so a minimal request is just
+        ``{"config": {...}, "kernel": "vectorAdd"}``.
+        """
+        data: Dict[str, Any] = {"config": self.config.to_dict()}
+        if self.kernel is not None:
+            data["kernel"] = self.kernel
+        if self.launch is not None:
+            data["launch"] = launch_to_dict(self.launch)
+        if self.max_cycles != DEFAULT_MAX_CYCLES:
+            data["max_cycles"] = self.max_cycles
+        if self.trace_interval is not None:
+            data["trace_interval"] = self.trace_interval
+        if self.backend != "cycle":
+            data["backend"] = self.backend
+        if self.backend_options:
+            data["backend_options"] = dict(self.backend_options)
+        if self.timeout_s is not None:
+            data["timeout_s"] = self.timeout_s
+        if self.tag:
+            data["tag"] = self.tag
+        if self.tags:
+            data["tags"] = dict(self.tags)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` (a stale or foreign payload
+        fails loudly instead of silently dropping knobs).
+        """
+        known = {"config", "kernel", "launch", "max_cycles",
+                 "trace_interval", "backend", "backend_options",
+                 "timeout_s", "tag", "tags"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        if "config" not in data:
+            raise ValueError("request needs a 'config'")
+        launch = None
+        if data.get("launch") is not None:
+            launch = launch_from_dict(data["launch"])
+        trace_interval = data.get("trace_interval")
+        timeout_s = data.get("timeout_s")
+        return cls(
+            config=GPUConfig.from_dict(data["config"]),
+            kernel=data.get("kernel"),
+            launch=launch,
+            max_cycles=float(data.get("max_cycles", DEFAULT_MAX_CYCLES)),
+            trace_interval=(None if trace_interval is None
+                            else float(trace_interval)),
+            backend=str(data.get("backend", "cycle")),
+            backend_options=(dict(data["backend_options"])
+                             if data.get("backend_options") else None),
+            timeout_s=None if timeout_s is None else float(timeout_s),
+            tag=str(data.get("tag", "")),
+            tags={str(k): str(v)
+                  for k, v in data.get("tags", {}).items()},
+        )

@@ -27,7 +27,8 @@ Quickstart::
         print(r.label, r.cycles, r.activity.issued_instructions)
 """
 
-from .cache import ResultCache, config_signature, job_key, launch_signature
+from .cache import (ResultCache, config_signature, job_key,
+                    launch_signature, request_key, request_signature)
 from .engine import (AUTO, FAULT_PLAN_ENV, MELTDOWN_AFTER, TIMEOUT_ENV,
                      RunnerError, resolve_cache, resolve_jobs,
                      resolve_timeout, run_jobs, set_default_cache,
@@ -37,7 +38,8 @@ from .job import JobFailure, JobResult, SimJob
 __all__ = [
     "AUTO", "FAULT_PLAN_ENV", "JobFailure", "JobResult", "MELTDOWN_AFTER",
     "ResultCache", "RunnerError", "SimJob", "TIMEOUT_ENV",
-    "config_signature", "job_key", "launch_signature", "resolve_cache",
-    "resolve_jobs", "resolve_timeout", "run_jobs", "set_default_cache",
+    "config_signature", "job_key", "launch_signature", "request_key",
+    "request_signature", "resolve_cache", "resolve_jobs",
+    "resolve_timeout", "run_jobs", "set_default_cache",
     "set_default_jobs", "set_default_timeout", "set_fault_plan",
 ]

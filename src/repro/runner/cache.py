@@ -93,34 +93,62 @@ def launch_signature(launch: KernelLaunch) -> Dict[str, Any]:
     }
 
 
-def job_key(job: SimJob) -> str:
-    """Content-addressed cache key (hex SHA-256) for one job.
+def request_signature(request) -> Dict[str, Any]:
+    """The full content-addressed payload of one simulation request.
 
-    ``trace_interval`` enters the payload only when set, so untraced
-    jobs keep the exact keys (and cache entries) they had before
-    telemetry existed; a traced job is a distinct artifact because its
-    entry also stores the per-window deltas.  Likewise ``backend``
-    enters only for non-default backends (or when backend options are
-    set) -- default (``cycle``) jobs keep their pre-backend-era keys,
-    and each other backend's results are keyed by its
-    ``cache_signature``: at least its name *and* model version (so
-    bumping a backend version invalidates exactly that backend's
-    entries), plus any resolved result-changing options (e.g.
-    ``parallel_cycle``'s epoch length and shard count).
+    ``request`` is anything request-shaped -- a
+    :class:`~repro.request.SimRequest` or a :class:`SimJob` (both carry
+    ``config``/``resolve_launch``/``max_cycles``/``trace_interval``/
+    ``backend``/``backend_options``).  ``trace_interval`` enters the
+    payload only when set, so untraced requests keep the exact keys
+    (and cache entries) they had before telemetry existed; a traced
+    request is a distinct artifact because its entry also stores the
+    per-window deltas.  Likewise ``backend`` enters only for
+    non-default backends (or when backend options are set) -- default
+    (``cycle``) requests keep their pre-backend-era keys, and each
+    other backend's results are keyed by its ``cache_signature``: at
+    least its name *and* model version (so bumping a backend version
+    invalidates exactly that backend's entries), plus any resolved
+    result-changing options (e.g. ``parallel_cycle``'s epoch length
+    and shard count).  Execution policy (``timeout_s``) and
+    presentation (``tag``/``tags``) never enter.
     """
-    payload = {
+    payload: Dict[str, Any] = {
         "sim_version": _version_tag(),
-        "config": config_signature(job.config),
-        "launch": launch_signature(job.resolve_launch()),
-        "max_cycles": repr(job.max_cycles),
+        "config": config_signature(request.config),
+        "launch": launch_signature(request.resolve_launch()),
+        "max_cycles": repr(request.max_cycles),
     }
-    if job.trace_interval is not None:
-        payload["trace_interval"] = repr(float(job.trace_interval))
-    if job.backend != "cycle" or getattr(job, "backend_options", None):
+    if request.trace_interval is not None:
+        payload["trace_interval"] = repr(float(request.trace_interval))
+    if request.backend != "cycle" \
+            or getattr(request, "backend_options", None):
         from ..backends import get_backend
-        payload["backend"] = get_backend(job.backend).cache_signature(job)
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        payload["backend"] = \
+            get_backend(request.backend).cache_signature(request)
+    return payload
+
+
+def request_key(request) -> str:
+    """Content-addressed identity (hex SHA-256) of one request.
+
+    The digest of :func:`request_signature`; exposed on requests as
+    :meth:`repro.request.SimRequest.digest`.
+    """
+    blob = json.dumps(request_signature(request), sort_keys=True,
+                      separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def job_key(job: SimJob) -> str:
+    """Content-addressed cache key for one job (its request's key).
+
+    A :class:`SimJob` is request-shaped, so the key *is*
+    :func:`request_key` of the job -- byte-identical payloads, which is
+    what keeps pre-existing cache entries valid across the
+    :class:`~repro.request.SimRequest` redesign.
+    """
+    return request_key(job)
 
 
 def _report_from_dict(data: Dict[str, float]) -> ActivityReport:

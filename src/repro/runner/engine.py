@@ -120,6 +120,19 @@ class RunnerError(RuntimeError):
             lines.append(first.traceback)
         super().__init__("\n".join(lines))
 
+    def to_dict(self) -> Dict:
+        """Structured error payload: every failure's taxonomy.
+
+        What the service returns in error responses -- clients get
+        kind/attempts/durations per failure rather than one formatted
+        string.
+        """
+        return {
+            "error": "RunnerError",
+            "message": str(self),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
 
 # -- process-wide defaults -----------------------------------------------------
 

@@ -13,13 +13,14 @@ crosses the pipe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..isa.launch import KernelLaunch
 from ..sim.activity import ActivityReport
 from ..sim.config import GPUConfig
 
 if TYPE_CHECKING:
+    from ..request import SimRequest
     from ..telemetry import ActivityWindow
 
 
@@ -64,6 +65,25 @@ class JobFailure:
     def transient(self) -> bool:
         """Whether this failure kind is retried by the engine."""
         return self.kind in ("timeout", "worker-crash")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Structured failure taxonomy for machine consumers.
+
+        The service returns this (not a formatted traceback string) in
+        error responses, so clients can branch on ``kind`` and surface
+        ``attempts``/``attempt_durations`` without parsing prose.
+        """
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "message": self.message,
+            "summary": self.summary,
+            "transient": self.transient,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "attempt_durations": [float(d)
+                                  for d in self.attempt_durations],
+        }
 
 
 @dataclass
@@ -117,6 +137,33 @@ class SimJob:
         if self.timeout_s is not None and not self.timeout_s > 0:
             raise ValueError(
                 f"timeout_s must be positive, got {self.timeout_s!r}")
+
+    @classmethod
+    def from_request(cls, request: "SimRequest") -> "SimJob":
+        """The job executing one :class:`~repro.request.SimRequest`.
+
+        This is the primary constructor: the keyword form stays as a
+        shim over the same fields, and request -> job -> request
+        round-trips losslessly (``tags`` excepted -- metadata lives on
+        the request, not the execution descriptor).
+        """
+        return cls(
+            config=request.config,
+            kernel=request.kernel,
+            launch=request.launch,
+            max_cycles=request.max_cycles,
+            tag=request.tag,
+            trace_interval=request.trace_interval,
+            backend=request.backend,
+            backend_options=(None if request.backend_options is None
+                             else dict(request.backend_options)),
+            timeout_s=request.timeout_s,
+        )
+
+    def to_request(self) -> "SimRequest":
+        """This job as a canonical :class:`~repro.request.SimRequest`."""
+        from ..request import SimRequest
+        return SimRequest.from_job(self)
 
     @property
     def label(self) -> str:

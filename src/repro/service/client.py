@@ -1,0 +1,147 @@
+"""Synchronous HTTP client for the power-estimation service.
+
+What ``gpusimpow submit`` and the test/CI harness use: plain
+:mod:`urllib` over the daemon's ``/v1`` endpoints, no dependencies.
+Each call opens one connection (the daemon is ``Connection: close``).
+
+The client measures wall-clock ``elapsed_s`` per submit -- the CI
+cache-hit check asserts a second identical submission answers
+materially faster than the first.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..request import SimRequest
+
+
+class ServiceError(Exception):
+    """A non-2xx service response; carries status and payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        message = payload.get("message") or payload.get("error") \
+            or f"HTTP {status}"
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one daemon at ``base_url`` as one tenant."""
+
+    def __init__(self, base_url: str, tenant: str = "default",
+                 timeout_s: float = 630.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None
+        headers = {"X-Tenant": self.tenant}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": "http", "message": str(exc)}
+            raise ServiceError(exc.code, payload) from None
+
+    # -- endpoints ------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/healthz")
+
+    def status(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/status")
+
+    def submit(self, request: Union[SimRequest, Dict[str, Any]],
+               priority: int = 0, wait: bool = False,
+               wait_timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one simulation request.
+
+        ``request`` is a :class:`~repro.request.SimRequest` or its
+        ``to_dict`` form.  The response dict gains a client-measured
+        ``elapsed_s`` field.
+        """
+        if isinstance(request, SimRequest):
+            request = request.to_dict()
+        body: Dict[str, Any] = {"request": request,
+                                "priority": int(priority)}
+        if wait:
+            body["wait"] = True
+            if wait_timeout_s is not None:
+                body["wait_timeout_s"] = float(wait_timeout_s)
+        started = time.perf_counter()
+        payload = self._call("POST", "/v1/submit", body)
+        payload["elapsed_s"] = time.perf_counter() - started
+        return payload
+
+    def submission(self, sub_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{sub_id}")
+
+    def result(self, sub_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{sub_id}/result")
+
+    def wait(self, sub_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.1) -> Dict[str, Any]:
+        """Poll until ``sub_id`` is terminal; returns the result call."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.result(sub_id)
+            except ServiceError as exc:
+                if exc.status != 409 or time.monotonic() >= deadline:
+                    raise
+            time.sleep(poll_s)
+
+    def stream(self, sub_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield ``{"event": ..., "data": ...}`` frames until terminal."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{sub_id}/stream",
+            headers={"X-Tenant": self.tenant})
+        try:
+            resp = urllib.request.urlopen(request,
+                                          timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": "http", "message": str(exc)}
+            raise ServiceError(exc.code, payload) from None
+        with resp:
+            event: Dict[str, Any] = {}
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line:
+                    if "event" in event:
+                        yield event
+                        if event["event"] in ("result", "error"):
+                            return
+                    event = {}
+                elif line.startswith("event: "):
+                    event["event"] = line[len("event: "):]
+                elif line.startswith("data: "):
+                    event["data"] = json.loads(line[len("data: "):])
+
+    def pause(self) -> Dict[str, Any]:
+        return self._call("POST", "/v1/admin/pause")
+
+    def resume(self) -> Dict[str, Any]:
+        return self._call("POST", "/v1/admin/resume")

@@ -1,0 +1,657 @@
+"""The service scheduler: admission, queueing, dedup, dispatch.
+
+:class:`PowerService` owns all daemon state and runs on one asyncio
+event loop; simulations execute off-loop in executor threads (and,
+below them, on the runner's fault-tolerant process pool).  A
+submission's life:
+
+1. **Parse** -- the HTTP body's ``request`` field must decode into a
+   :class:`~repro.request.SimRequest`; anything else is a 400.
+2. **Admission lint** -- the static analyzer (``gpusimpow lint``'s
+   engine) runs over the launch; any ``ERROR``-severity diagnostic
+   rejects the submission with a 422 and the full diagnostic payload,
+   *before* any simulation resource is spent.
+3. **Cache probe** -- the content-addressed result cache is consulted
+   under the request's digest; a hit answers instantly (200, result
+   inline) without touching quotas or queues.
+4. **Quota** -- each tenant may hold a bounded number of live
+   (queued or running) submissions; beyond that, 429.
+5. **Dedup** -- an in-flight task with the same digest absorbs the
+   submission: one simulation, every subscriber fanned the identical
+   result.
+6. **Queue** -- new work enters a priority heap (higher ``priority``
+   first, FIFO within a level), bounded by ``queue_limit`` (503 when
+   full), journaled for crash recovery, and dispatched onto the
+   runner as capacity frees up.
+
+Untraced tasks dispatch in batches through one
+:func:`repro.runner.run_jobs` call -- inheriting its warm pool,
+per-job timeouts, retries and crash supervision -- with per-task
+completion fanned out from the progress callback.  Traced tasks
+(``trace_interval`` set) run in-process in their own executor thread
+so a forwarding :class:`~repro.telemetry.TraceSink` can stream each
+:class:`~repro.telemetry.ActivityWindow` to subscribers the moment it
+is cut (windows cannot stream across the pool's process boundary).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis import Severity, analyze_launch
+from ..backends import get_backend
+from ..core.gpusimpow import GPUSimPow
+from ..request import SimRequest
+from ..runner import AUTO, ResultCache, RunnerError, run_jobs
+from ..runner.engine import resolve_cache
+from ..runner.job import JobResult
+from ..telemetry import ActivityTracer, TraceSink, windows_to_dicts
+from .journal import Journal
+
+#: Default per-tenant cap on live (queued + running) submissions.
+DEFAULT_TENANT_QUOTA = 8
+
+#: Default bound on queued tasks across all tenants.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Default concurrent-simulation slots.
+DEFAULT_MAX_PARALLEL = 2
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters surfaced by ``GET /v1/status``."""
+
+    submissions: int = 0
+    simulations: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    lint_rejections: int = 0
+    quota_rejections: int = 0
+    queue_rejections: int = 0
+    failures: int = 0
+    replayed: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "submissions": self.submissions,
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "lint_rejections": self.lint_rejections,
+            "quota_rejections": self.quota_rejections,
+            "queue_rejections": self.queue_rejections,
+            "failures": self.failures,
+            "replayed": self.replayed,
+        }
+
+
+@dataclass
+class Submission:
+    """One client submission (possibly sharing a task with others)."""
+
+    sub_id: str
+    tenant: str
+    digest: str
+    state: str  # queued | running | done | failed
+    task: Optional["SimTask"] = None
+    payload: Optional[Dict[str, Any]] = None
+    failure: Optional[Dict[str, Any]] = None
+    cached: bool = False
+    deduped: bool = False
+    finished: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def describe(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "submission": self.sub_id,
+            "tenant": self.tenant,
+            "digest": self.digest,
+            "state": self.state,
+            "cached": self.cached,
+            "deduped": self.deduped,
+        }
+        if self.failure is not None:
+            out["failure"] = self.failure
+        return out
+
+
+@dataclass
+class SimTask:
+    """One in-flight simulation, shared by all same-digest submissions."""
+
+    digest: str
+    request: SimRequest
+    priority: int
+    seq: int
+    state: str = "queued"  # queued | running | done | failed
+    submissions: List[Submission] = field(default_factory=list)
+    windows: List[Dict[str, Any]] = field(default_factory=list)
+    subscribers: List[asyncio.Queue] = field(default_factory=list)
+    payload: Optional[Dict[str, Any]] = None
+    failure: Optional[Dict[str, Any]] = None
+
+
+class _ForwardingSink(TraceSink):
+    """Bridges worker-thread window cuts onto the event loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 callback, task: SimTask) -> None:
+        self._loop = loop
+        self._callback = callback
+        self._task = task
+
+    def on_window(self, window) -> None:
+        self._loop.call_soon_threadsafe(self._callback, self._task,
+                                        window)
+
+
+class PowerService:
+    """Event-loop scheduler behind the daemon (and the test harness).
+
+    All public methods must be called from the owning event loop.
+    ``lint`` disables admission analysis when False (the analyzer is
+    cheap, so it is on by default).  ``cache`` follows the runner
+    convention: a :class:`~repro.runner.ResultCache`, a directory path,
+    ``None`` (disabled) or :data:`~repro.runner.AUTO`.
+    """
+
+    def __init__(self, cache=AUTO,
+                 max_parallel: int = DEFAULT_MAX_PARALLEL,
+                 tenant_quota: int = DEFAULT_TENANT_QUOTA,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 journal_path=None,
+                 timeout_s: Optional[float] = None,
+                 lint: bool = True) -> None:
+        # Content-addressed cache hits are the service's cheapest
+        # answers, so unlike batch runs the daemon defaults to a live
+        # cache (honouring $REPRO_CACHE/$REPRO_CACHE_DIR) even when
+        # nothing is configured; pass ``cache=None`` to disable.
+        resolved = resolve_cache(cache)
+        if resolved is None and cache is AUTO:
+            resolved = ResultCache()
+        self.cache = resolved
+        self.max_parallel = max(1, int(max_parallel))
+        self.tenant_quota = max(1, int(tenant_quota))
+        self.queue_limit = max(1, int(queue_limit))
+        self.timeout_s = timeout_s
+        self.lint = lint
+        self.stats = ServiceStats()
+        self.started_s = time.time()
+        self._journal_path = journal_path
+        self._journal: Optional[Journal] = None
+        self._submissions: Dict[str, Submission] = {}
+        self._inflight: Dict[str, SimTask] = {}
+        self._heap: List = []  # (-priority, seq, digest)
+        self._seq = 0
+        self._serial = 0
+        self._running = 0
+        self._paused = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> int:
+        """Open the journal and re-admit pending submissions.
+
+        Returns how many journaled submissions were replayed.  Must be
+        called from the event loop (replayed cache hits resolve
+        immediately).
+        """
+        if self._journal_path is None:
+            return 0
+        pending = Journal.pending(self._journal_path)
+        self._serial = Journal.highest_serial(self._journal_path)
+        self._journal = Journal(self._journal_path)
+        replayed = 0
+        for record in pending:
+            try:
+                request = SimRequest.from_dict(record["request"])
+            except (KeyError, ValueError, TypeError):
+                continue
+            self._admit(request, tenant=str(record.get("tenant",
+                                                       "default")),
+                        priority=int(record.get("priority", 0)),
+                        sub_id=str(record["sub"]), journal=False)
+            replayed += 1
+        self.stats.replayed += replayed
+        return replayed
+
+    def close(self) -> None:
+        self._closed = True
+        if self._journal is not None:
+            self._journal.close()
+
+    def pause(self) -> None:
+        """Stop dispatching (queued work stays queued)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+        self._schedule()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, body: Dict[str, Any],
+               tenant: str = "default") -> tuple:
+        """Admit one submission; returns ``(http_status, payload)``."""
+        self.stats.submissions += 1
+        if not isinstance(body, dict):
+            return 400, {"error": "bad-request",
+                         "message": "body must be a JSON object"}
+        raw = body.get("request")
+        if not isinstance(raw, dict):
+            return 400, {"error": "bad-request",
+                         "message": "body needs a 'request' object"}
+        try:
+            request = SimRequest.from_dict(raw)
+            launch = request.resolve_launch()
+            get_backend(request.backend)
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": "bad-request", "message": str(exc)}
+        try:
+            priority = int(body.get("priority", 0))
+        except (ValueError, TypeError):
+            return 400, {"error": "bad-request",
+                         "message": "priority must be an integer"}
+
+        if self.lint:
+            analysis = analyze_launch(launch, request.config)
+            errors = [d for d in analysis.diagnostics
+                      if d.severity >= Severity.ERROR]
+            if errors:
+                self.stats.lint_rejections += 1
+                return 422, {
+                    "error": "lint-rejected",
+                    "message": f"{len(errors)} verifier error(s); "
+                               f"no simulation was scheduled",
+                    "kernel": launch.kernel.name,
+                    "diagnostics": [d.to_dict()
+                                    for d in analysis.diagnostics],
+                }
+
+        return self._admit(request, tenant=tenant, priority=priority)
+
+    def _admit(self, request: SimRequest, tenant: str, priority: int,
+               sub_id: Optional[str] = None,
+               journal: bool = True) -> tuple:
+        digest = request.digest()
+        if sub_id is None:
+            self._serial += 1
+            sub_id = f"s{self._serial:06d}"
+        sub = Submission(sub_id=sub_id, tenant=tenant, digest=digest,
+                         state="queued")
+        # Cache probe: instant answer, no quota or queue spent.
+        if self.cache is not None and digest not in self._inflight:
+            hit = self.cache.get(request.to_job(), key=digest)
+            if hit is not None:
+                payload = self._build_payload(request, hit.activity,
+                                              hit.windows, cached=True)
+                sub.state = "done"
+                sub.cached = True
+                sub.payload = payload
+                sub.finished.set()
+                self.stats.cache_hits += 1
+                self._submissions[sub_id] = sub
+                if self._journal is not None:
+                    if journal:
+                        self._journal.record_submit(
+                            sub_id, tenant, digest, priority,
+                            request.to_dict())
+                    # Always close the loop in the log -- a replayed
+                    # submission that resolves from cache must not stay
+                    # pending forever.
+                    self._journal.record_done(sub_id, "done")
+                out = sub.describe()
+                out["result"] = payload
+                return 200, out
+
+        live = sum(1 for s in self._submissions.values()
+                   if s.tenant == tenant
+                   and s.state in ("queued", "running"))
+        if live >= self.tenant_quota:
+            self.stats.quota_rejections += 1
+            return 429, {
+                "error": "quota-exhausted",
+                "message": f"tenant {tenant!r} already has {live} live "
+                           f"submission(s) (quota {self.tenant_quota})",
+                "tenant": tenant,
+                "quota": self.tenant_quota,
+            }
+
+        task = self._inflight.get(digest)
+        if task is not None:
+            sub.deduped = True
+            sub.state = task.state
+            task.submissions.append(sub)
+            sub.task = task
+            self.stats.dedup_hits += 1
+        else:
+            if len(self._heap) >= self.queue_limit:
+                self.stats.queue_rejections += 1
+                return 503, {
+                    "error": "queue-full",
+                    "message": f"{len(self._heap)} task(s) queued "
+                               f"(limit {self.queue_limit})",
+                }
+            self._seq += 1
+            task = SimTask(digest=digest, request=request,
+                           priority=priority, seq=self._seq)
+            task.submissions.append(sub)
+            sub.task = task
+            self._inflight[digest] = task
+            heapq.heappush(self._heap, (-priority, self._seq, digest))
+        self._submissions[sub_id] = sub
+        if journal and self._journal is not None:
+            self._journal.record_submit(sub_id, tenant, digest,
+                                        priority, request.to_dict())
+        self._schedule()
+        return 202, sub.describe()
+
+    # -- queries --------------------------------------------------------------
+
+    def submission(self, sub_id: str) -> Optional[Submission]:
+        return self._submissions.get(sub_id)
+
+    def describe(self, sub_id: str) -> tuple:
+        sub = self._submissions.get(sub_id)
+        if sub is None:
+            return 404, {"error": "not-found",
+                         "message": f"unknown submission {sub_id!r}"}
+        return 200, sub.describe()
+
+    def result(self, sub_id: str) -> tuple:
+        sub = self._submissions.get(sub_id)
+        if sub is None:
+            return 404, {"error": "not-found",
+                         "message": f"unknown submission {sub_id!r}"}
+        if sub.state == "failed":
+            return 500, {"error": "simulation-failed",
+                         "submission": sub.sub_id,
+                         "failure": sub.failure}
+        if sub.state != "done" or sub.payload is None:
+            return 409, {"error": "not-ready", "state": sub.state,
+                         "submission": sub.sub_id}
+        out = sub.describe()
+        out["result"] = sub.payload
+        return 200, out
+
+    async def wait(self, sub_id: str,
+                   timeout: Optional[float] = None) -> bool:
+        """Block until ``sub_id`` reaches a terminal state."""
+        sub = self._submissions.get(sub_id)
+        if sub is None:
+            return False
+        try:
+            await asyncio.wait_for(sub.finished.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def status(self) -> Dict[str, Any]:
+        queued = sum(1 for t in self._inflight.values()
+                     if t.state == "queued")
+        return {
+            "ok": True,
+            "paused": self._paused,
+            "uptime_s": time.time() - self.started_s,
+            "queued_tasks": queued,
+            "running_tasks": self._running,
+            "inflight_tasks": len(self._inflight),
+            "submissions": len(self._submissions),
+            "max_parallel": self.max_parallel,
+            "tenant_quota": self.tenant_quota,
+            "queue_limit": self.queue_limit,
+            "journal": (None if self._journal_path is None
+                        else str(self._journal_path)),
+            "cache": (None if self.cache is None
+                      else str(self.cache.root)),
+            "stats": self.stats.to_dict(),
+        }
+
+    # -- streaming ------------------------------------------------------------
+
+    def subscribe(self, sub_id: str) -> Optional[asyncio.Queue]:
+        """Queue of stream events for one submission, or None.
+
+        Already-cut windows are replayed first; terminal events carry
+        ``event: result`` / ``event: error`` followed by a ``None``
+        sentinel.
+        """
+        sub = self._submissions.get(sub_id)
+        if sub is None:
+            return None
+        queue: asyncio.Queue = asyncio.Queue()
+        task = sub.task
+        if task is not None:
+            for window in task.windows:
+                queue.put_nowait({"event": "window", "data": window})
+        if sub.state in ("done", "failed"):
+            queue.put_nowait(self._terminal_event(sub))
+            queue.put_nowait(None)
+        elif task is not None:
+            task.subscribers.append(queue)
+        return queue
+
+    @staticmethod
+    def _terminal_event(sub: Submission) -> Dict[str, Any]:
+        if sub.state == "failed":
+            return {"event": "error", "data": sub.failure or {}}
+        return {"event": "result", "data": sub.payload or {}}
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self) -> None:
+        if self._paused or self._closed:
+            return
+        free = self.max_parallel - self._running
+        traced: List[SimTask] = []
+        batch: List[SimTask] = []
+        while free > 0 and self._heap:
+            _, _, digest = heapq.heappop(self._heap)
+            task = self._inflight.get(digest)
+            if task is None or task.state != "queued":
+                continue
+            task.state = "running"
+            for sub in task.submissions:
+                sub.state = "running"
+            if task.request.trace_interval is not None:
+                traced.append(task)
+            else:
+                batch.append(task)
+            free -= 1
+        if not traced and not batch:
+            return
+        loop = asyncio.get_running_loop()
+        for task in traced:
+            self._running += 1
+            loop.create_task(self._run_traced(task))
+        if batch:
+            self._running += len(batch)
+            loop.create_task(self._run_batch(batch))
+
+    async def _run_batch(self, tasks: List[SimTask]) -> None:
+        """Dispatch untraced tasks through one fault-tolerant fan-out."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self._execute_batch,
+                                       tasks, loop)
+        except Exception as exc:  # pragma: no cover - defensive
+            for task in tasks:
+                if task.state == "running":
+                    self._finish_task(task, None,
+                                      {"error": type(exc).__name__,
+                                       "message": str(exc)}, False,
+                                      release=False)
+        finally:
+            self._running -= len(tasks)
+            self._schedule()
+
+    def _execute_batch(self, tasks: List[SimTask],
+                       loop: asyncio.AbstractEventLoop) -> None:
+        """Worker thread: run one ``run_jobs`` batch, fan out per-task.
+
+        Jobs are tagged with their task digest so completions (and the
+        runner's :class:`JobFailure` records, which only carry a label)
+        map back unambiguously even when two requests share a kernel.
+        """
+        by_digest = {t.digest: t for t in tasks}
+        jobs = []
+        for task in tasks:
+            job = task.request.to_job()
+            job.tag = task.digest
+            jobs.append(job)
+
+        def on_outcome(done: int, total: int, outcome) -> None:
+            if isinstance(outcome, JobResult):
+                task = by_digest.get(outcome.job.tag)
+                if task is None:
+                    return
+                payload = self._build_payload(task.request,
+                                              outcome.activity,
+                                              outcome.windows,
+                                              cached=outcome.cached)
+                loop.call_soon_threadsafe(self._finish_task, task,
+                                          payload, None,
+                                          outcome.cached, False)
+            else:
+                task = by_digest.get(outcome.label)
+                if task is None:
+                    return
+                failure = {"error": "simulation-failed",
+                           "kernel": task.request.label}
+                failure.update(outcome.to_dict())
+                loop.call_soon_threadsafe(self._finish_task, task,
+                                          None, failure, False, False)
+
+        try:
+            run_jobs(jobs, n_jobs=min(len(jobs), self.max_parallel),
+                     cache=self.cache, progress=on_outcome,
+                     timeout_s=self.timeout_s)
+        except RunnerError:
+            pass  # per-task failures already fanned out via progress
+        except Exception as exc:
+            for task in tasks:
+                loop.call_soon_threadsafe(
+                    self._finish_task, task, None,
+                    {"error": type(exc).__name__, "message": str(exc)},
+                    False, False)
+
+    async def _run_traced(self, task: SimTask) -> None:
+        """Dispatch one traced task in-process, streaming windows."""
+        loop = asyncio.get_running_loop()
+        try:
+            payload, fresh = await loop.run_in_executor(
+                None, self._execute_traced, task, loop)
+            self._finish_task(task, payload, None, not fresh,
+                              release=False)
+        except Exception as exc:
+            self._finish_task(task, None,
+                              {"error": type(exc).__name__,
+                               "message": str(exc)}, False,
+                              release=False)
+        finally:
+            self._running -= 1
+            self._schedule()
+
+    def _execute_traced(self, task: SimTask,
+                        loop: asyncio.AbstractEventLoop) -> tuple:
+        """Worker thread: simulate with a live window-forwarding sink."""
+        request = task.request
+        job = request.to_job()
+        if self.cache is not None:
+            hit = self.cache.get(job, key=task.digest)
+            if hit is not None:
+                for window in hit.windows or []:
+                    loop.call_soon_threadsafe(self._push_window, task,
+                                              window)
+                payload = self._build_payload(request, hit.activity,
+                                              hit.windows, cached=True)
+                return payload, False
+        sink = _ForwardingSink(loop, self._push_window, task)
+        tracer = ActivityTracer(request.trace_interval, sink=sink)
+        output = get_backend(request.backend).simulate(
+            request.config, request.resolve_launch(),
+            max_cycles=request.max_cycles, tracer=tracer,
+            **(request.backend_options or {}))
+        if self.cache is not None:
+            self.cache.put(job, output.activity, output.cycles,
+                           key=task.digest, windows=output.windows)
+        payload = self._build_payload(request, output.activity,
+                                      output.windows, cached=False)
+        return payload, True
+
+    # -- completion -----------------------------------------------------------
+
+    def _push_window(self, task: SimTask, window) -> None:
+        data = windows_to_dicts([window])[0]
+        task.windows.append(data)
+        for queue in task.subscribers:
+            queue.put_nowait({"event": "window", "data": data})
+
+    def _finish_task(self, task: SimTask,
+                     payload: Optional[Dict[str, Any]],
+                     failure: Optional[Dict[str, Any]],
+                     cached: bool, release: bool = True) -> None:
+        """Fan one task's terminal state out to every submission.
+
+        The same ``payload`` object reaches every subscriber, so fanned
+        results are bit-identical by construction.  ``release`` is set
+        by callers that do not manage the running-slot count
+        themselves.
+        """
+        if task.state in ("done", "failed"):
+            return
+        ok = failure is None
+        task.state = "done" if ok else "failed"
+        task.payload = payload
+        task.failure = failure
+        if ok and not cached:
+            self.stats.simulations += 1
+        if ok and cached:
+            self.stats.cache_hits += 1
+        if not ok:
+            self.stats.failures += 1
+        self._inflight.pop(task.digest, None)
+        for sub in task.submissions:
+            sub.state = task.state
+            sub.payload = payload
+            sub.failure = failure
+            sub.cached = cached
+            sub.finished.set()
+            if self._journal is not None:
+                self._journal.record_done(sub.sub_id, task.state)
+        for queue in task.subscribers:
+            queue.put_nowait(self._terminal_event(task.submissions[0]))
+            queue.put_nowait(None)
+        task.subscribers.clear()
+        if release:
+            self._running -= 1
+            self._schedule()
+
+    # -- result payloads ------------------------------------------------------
+
+    def _build_payload(self, request: SimRequest, activity, windows,
+                       cached: bool) -> Dict[str, Any]:
+        """Power-evaluate one finished simulation into a response body."""
+        result = GPUSimPow(request.config).run(
+            request.resolve_launch(), activity=activity,
+            windows=list(windows) if windows else None,
+            trace_interval=request.trace_interval,
+            backend=request.backend)
+        return {
+            "kernel": result.kernel_name,
+            "gpu": request.config.name,
+            "digest": request.digest(),
+            "backend": request.backend,
+            "cached": cached,
+            "summary": result.summary(),
+            "simulation": result.to_dict(),
+        }

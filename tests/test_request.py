@@ -1,0 +1,219 @@
+"""Tests for the canonical SimRequest: round-trips, digests, shims.
+
+The redesign's core invariant: a request has ONE identity (its
+digest), shared verbatim by the facade, the runner job, the cache key,
+and the service's HTTP schema -- and the digest of a pre-refactor
+``SimJob`` is byte-identical to the request's, so no cache entry went
+stale.
+"""
+
+import pytest
+
+from repro import GPUSimPow, SimRequest
+from repro.runner import (JobFailure, RunnerError, SimJob, job_key,
+                          request_key, run_jobs)
+from repro.sim import gt240, gtx580
+from tests.conftest import build_vecadd_launch
+
+
+@pytest.fixture()
+def tiny_launch():
+    launch, _, _ = build_vecadd_launch(n=64, block=64, grid=1)
+    return launch
+
+
+class TestConstruction:
+    def test_needs_kernel_or_launch(self):
+        with pytest.raises(ValueError):
+            SimRequest(config=gt240())
+
+    def test_rejects_bad_trace_interval(self, tiny_launch):
+        with pytest.raises(ValueError):
+            SimRequest(config=gt240(), launch=tiny_launch,
+                       trace_interval=0.0)
+
+    def test_rejects_bad_timeout(self, tiny_launch):
+        with pytest.raises(ValueError):
+            SimRequest(config=gt240(), launch=tiny_launch,
+                       timeout_s=-1.0)
+
+    def test_label(self, tiny_launch):
+        req = SimRequest(config=gt240(), kernel="vectorAdd")
+        assert req.label == "vectorAdd@GT240"
+        assert SimRequest(config=gt240(), launch=tiny_launch,
+                          tag="probe").label == "probe"
+
+    def test_resolve_launch_by_label(self):
+        req = SimRequest(config=gt240(), kernel="vectorAdd")
+        launch = req.resolve_launch()
+        assert launch.kernel.name == "vectorAdd"
+
+    def test_resolve_launch_unknown_label(self):
+        req = SimRequest(config=gt240(), kernel="nope")
+        with pytest.raises(KeyError):
+            req.resolve_launch()
+
+    def test_explicit_launch_wins(self, tiny_launch):
+        req = SimRequest(config=gt240(), kernel="vectorAdd",
+                         launch=tiny_launch)
+        assert req.resolve_launch() is tiny_launch
+
+
+class TestSerialization:
+    def test_minimal_round_trip(self):
+        req = SimRequest(config=gt240(), kernel="vectorAdd")
+        data = req.to_dict()
+        assert set(data) == {"config", "kernel"}
+        back = SimRequest.from_dict(data)
+        assert back.kernel == "vectorAdd"
+        assert back.digest() == req.digest()
+
+    def test_full_round_trip(self, tiny_launch):
+        req = SimRequest(config=gtx580(), launch=tiny_launch,
+                         max_cycles=1e6, trace_interval=128.0,
+                         backend="parallel_cycle",
+                         backend_options={"n_shards": 2},
+                         timeout_s=30.0, tag="probe",
+                         tags={"tenant": "ci"})
+        back = SimRequest.from_dict(req.to_dict())
+        assert back.trace_interval == 128.0
+        assert back.backend == "parallel_cycle"
+        assert back.backend_options == {"n_shards": 2}
+        assert back.timeout_s == 30.0
+        assert back.tag == "probe"
+        assert back.tags == {"tenant": "ci"}
+        assert back.digest() == req.digest()
+
+    def test_launch_round_trip_is_exact(self, tiny_launch):
+        req = SimRequest(config=gt240(), launch=tiny_launch)
+        back = SimRequest.from_dict(req.to_dict())
+        assert back.resolve_launch().kernel.name == \
+            tiny_launch.kernel.name
+        assert back.digest() == req.digest()
+
+    def test_unknown_field_rejected(self):
+        data = SimRequest(config=gt240(), kernel="vectorAdd").to_dict()
+        data["workers"] = 4
+        with pytest.raises(ValueError, match="workers"):
+            SimRequest.from_dict(data)
+
+    def test_missing_config_rejected(self):
+        with pytest.raises(ValueError, match="config"):
+            SimRequest.from_dict({"kernel": "vectorAdd"})
+
+
+class TestDigest:
+    def test_matches_job_key(self, tiny_launch):
+        """THE compatibility invariant: request digests are the
+        pre-existing job_key, so the refactor invalidated no cache."""
+        req = SimRequest(config=gt240(), launch=tiny_launch,
+                         kernel="tiny")
+        job = SimJob(config=gt240(), launch=tiny_launch, kernel="tiny")
+        assert req.digest() == job_key(job)
+        assert request_key(req) == job_key(job)
+
+    def test_policy_fields_excluded(self, tiny_launch):
+        base = SimRequest(config=gt240(), launch=tiny_launch)
+        assert SimRequest(config=gt240(), launch=tiny_launch,
+                          timeout_s=5.0).digest() == base.digest()
+        assert SimRequest(config=gt240(), launch=tiny_launch,
+                          tag="x", tags={"a": "b"}).digest() \
+            == base.digest()
+
+    def test_result_shaping_fields_included(self, tiny_launch):
+        base = SimRequest(config=gt240(), launch=tiny_launch)
+        assert SimRequest(config=gt240(), launch=tiny_launch,
+                          trace_interval=64.0).digest() != base.digest()
+        assert SimRequest(config=gt240(), launch=tiny_launch,
+                          backend="analytical").digest() != base.digest()
+        assert SimRequest(config=gtx580(),
+                          launch=tiny_launch).digest() != base.digest()
+
+    def test_stable_across_processes_shape(self):
+        """Label-only requests digest identically however built."""
+        a = SimRequest(config=gt240(), kernel="vectorAdd").digest()
+        b = SimRequest.from_dict(
+            {"config": gt240().to_dict(),
+             "kernel": "vectorAdd"}).digest()
+        assert a == b
+
+
+class TestJobConversion:
+    def test_round_trip(self, tiny_launch):
+        req = SimRequest(config=gt240(), launch=tiny_launch,
+                         kernel="tiny", trace_interval=64.0,
+                         backend_options=None, timeout_s=9.0)
+        job = req.to_job()
+        assert isinstance(job, SimJob)
+        assert job.trace_interval == 64.0
+        assert job.timeout_s == 9.0
+        back = job.to_request()
+        assert back.digest() == req.digest()
+        assert back.timeout_s == 9.0
+
+    def test_from_request_copies_options(self, tiny_launch):
+        req = SimRequest(config=gt240(), launch=tiny_launch,
+                         backend_options={"k": 1})
+        job = SimJob.from_request(req)
+        job.backend_options["k"] = 2
+        assert req.backend_options == {"k": 1}
+
+    def test_job_executes(self, tiny_launch):
+        req = SimRequest(config=gt240(), launch=tiny_launch,
+                         kernel="tiny")
+        out, = run_jobs([req.to_job()], n_jobs=None, cache=None)
+        assert out.activity.issued_instructions > 0
+
+
+class TestFacadeRequestEntry:
+    def test_run_request_matches_keywords(self, tiny_launch):
+        sim = GPUSimPow(gt240())
+        via_kw = sim.run(tiny_launch)
+        via_req = sim.run(request=SimRequest(config=gt240(),
+                                             launch=tiny_launch))
+        assert via_req.chip_total_w == via_kw.chip_total_w
+        assert via_req.performance.cycles == via_kw.performance.cycles
+
+    def test_run_rejects_mixed_forms(self, tiny_launch):
+        sim = GPUSimPow(gt240())
+        req = SimRequest(config=gt240(), launch=tiny_launch)
+        with pytest.raises(ValueError, match="not both"):
+            sim.run(tiny_launch, request=req)
+
+    def test_run_rejects_foreign_config(self, tiny_launch):
+        sim = GPUSimPow(gt240())
+        req = SimRequest(config=gtx580(), launch=tiny_launch)
+        with pytest.raises(ValueError):
+            sim.run(request=req)
+
+    def test_run_benchmark_request(self):
+        sim = GPUSimPow(gt240())
+        req = SimRequest(config=gt240(), kernel="vectoradd")
+        via_req = sim.run_benchmark(request=req)
+        via_kw = sim.run_benchmark("vectoradd")
+        assert via_req.benchmark == "vectoradd"
+        assert via_req.total_energy_j == via_kw.total_energy_j
+
+
+class TestFailureSerialization:
+    def _failure(self):
+        return JobFailure(label="k@GT240", kind="timeout",
+                          message="worker died", attempts=2,
+                          attempt_durations=[0.5, 0.6])
+
+    def test_job_failure_to_dict(self):
+        data = self._failure().to_dict()
+        assert data["label"] == "k@GT240"
+        assert data["kind"] == "timeout"
+        assert data["transient"] is True
+        assert data["summary"] == "worker died"
+        assert data["attempts"] == 2
+        assert data["attempt_durations"] == [0.5, 0.6]
+
+    def test_runner_error_to_dict(self):
+        err = RunnerError([self._failure()])
+        data = err.to_dict()
+        assert data["error"] == "RunnerError"
+        assert len(data["failures"]) == 1
+        assert data["failures"][0]["kind"] == "timeout"
+        assert "1 simulation job(s) failed" in data["message"]

@@ -1,0 +1,352 @@
+"""Integration tests for the power-estimation service.
+
+A real :class:`~repro.service.ServiceDaemon` runs on its own event
+loop in a background thread; tests talk to it over actual HTTP with
+the synchronous :class:`~repro.service.ServiceClient` -- the same
+stack ``gpusimpow submit`` and the CI job use.  No asyncio test
+framework is needed: the daemon side is genuinely async, the test
+side is plain blocking calls.
+"""
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import SimRequest
+from repro.isa import Dim3, KernelBuilder, KernelLaunch, Reg
+from repro.service import (Journal, PowerService, ServiceClient,
+                           ServiceDaemon, ServiceError)
+from repro.sim import gt240
+from tests.conftest import build_vecadd_launch
+
+
+class DaemonHarness:
+    """One daemon on a background thread, reachable over HTTP."""
+
+    def __init__(self, **service_kwargs):
+        service_kwargs.setdefault("cache", None)
+        self.service_kwargs = service_kwargs
+        self.loop = None
+        self.thread = None
+        self.daemon = None
+        self.client = None
+
+    def start(self):
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.service = PowerService(**self.service_kwargs)
+            self.daemon = ServiceDaemon(self.service, port=0)
+            self.loop.run_until_complete(self.daemon.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(timeout=30), "daemon failed to start"
+        self.client = ServiceClient(
+            f"http://127.0.0.1:{self.daemon.port}", tenant="test")
+        return self
+
+    def stop(self):
+        if self.loop is None or self.loop.is_closed():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.daemon.stop(),
+                                                  self.loop)
+        future.result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+@pytest.fixture()
+def daemon_factory():
+    harnesses = []
+
+    def make(**service_kwargs):
+        harness = DaemonHarness(**service_kwargs).start()
+        harnesses.append(harness)
+        return harness
+
+    yield make
+    for harness in harnesses:
+        harness.stop()
+
+
+def tiny_request(**overrides):
+    launch, _, _ = build_vecadd_launch(n=64, block=64, grid=1)
+    fields = dict(config=gt240(), launch=launch, kernel="tiny_vecadd")
+    fields.update(overrides)
+    return SimRequest(**fields)
+
+
+def broken_request():
+    """A kernel only the verifier rejects (reads unallocated r7)."""
+    kb = KernelBuilder("broken")
+    r = kb.reg()
+    kb.mov(r, Reg(7))
+    kb.exit()
+    launch = KernelLaunch(kernel=kb.build(verify=False), grid=Dim3(1),
+                          block=Dim3(32), gmem_words=64)
+    return SimRequest(config=gt240(), launch=launch, kernel="broken")
+
+
+class TestEndpoints:
+    def test_healthz(self, daemon_factory):
+        harness = daemon_factory()
+        health = harness.client.healthz()
+        assert health["ok"] is True
+        assert health["paused"] is False
+        import repro
+        assert health["version"] == repro.__version__
+
+    def test_status_shape(self, daemon_factory):
+        harness = daemon_factory()
+        status = harness.client.status()
+        assert status["queued_tasks"] == 0
+        assert status["running_tasks"] == 0
+        assert status["stats"]["submissions"] == 0
+        assert status["cache"] is None
+
+    def test_unknown_route_404(self, daemon_factory):
+        harness = daemon_factory()
+        with pytest.raises(ServiceError) as err:
+            harness.client._call("GET", "/v1/nope")
+        assert err.value.status == 404
+
+    def test_unknown_submission_404(self, daemon_factory):
+        harness = daemon_factory()
+        with pytest.raises(ServiceError) as err:
+            harness.client.result("s999999")
+        assert err.value.status == 404
+
+    def test_malformed_body_400(self, daemon_factory):
+        harness = daemon_factory()
+        with pytest.raises(ServiceError) as err:
+            harness.client._call("POST", "/v1/submit",
+                                 {"request": {"kernel": "x"}})
+        assert err.value.status == 400
+
+    def test_pause_resume_roundtrip(self, daemon_factory):
+        harness = daemon_factory()
+        assert harness.client.pause()["paused"] is True
+        assert harness.client.healthz()["paused"] is True
+        assert harness.client.resume()["paused"] is False
+
+
+class TestSubmitFlow:
+    def test_submit_wait_returns_result(self, daemon_factory):
+        harness = daemon_factory()
+        response = harness.client.submit(tiny_request(), wait=True)
+        assert response["state"] == "done"
+        assert response["cached"] is False
+        summary = response["result"]["summary"]
+        assert summary["chip_total_w"] > 0
+        assert summary["runtime_s"] > 0
+
+    def test_cache_hit_on_resubmit(self, daemon_factory, tmp_path):
+        harness = daemon_factory(cache=str(tmp_path / "cache"))
+        first = harness.client.submit(tiny_request(), wait=True)
+        second = harness.client.submit(tiny_request(), wait=True)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"]["summary"] == \
+            first["result"]["summary"]
+        stats = harness.client.status()["stats"]
+        assert stats["cache_hits"] == 1
+        assert stats["simulations"] == 1
+
+    def test_submit_async_then_poll(self, daemon_factory):
+        harness = daemon_factory()
+        accepted = harness.client.submit(tiny_request())
+        assert "submission" in accepted
+        result = harness.client.wait(accepted["submission"],
+                                     timeout_s=120)
+        assert result["state"] == "done"
+        assert result["result"]["summary"]["chip_total_w"] > 0
+
+    def test_result_409_until_done(self, daemon_factory):
+        harness = daemon_factory()
+        harness.client.pause()
+        accepted = harness.client.submit(tiny_request())
+        with pytest.raises(ServiceError) as err:
+            harness.client.result(accepted["submission"])
+        assert err.value.status == 409
+
+
+class TestAdmissionControl:
+    def test_lint_rejects_broken_kernel(self, daemon_factory):
+        harness = daemon_factory()
+        with pytest.raises(ServiceError) as err:
+            harness.client.submit(broken_request(), wait=True)
+        assert err.value.status == 422
+        diags = err.value.payload["diagnostics"]
+        assert any(d["rule"] == "V008" for d in diags)
+        assert harness.client.status()["stats"]["lint_rejections"] == 1
+        assert harness.client.status()["stats"]["simulations"] == 0
+
+    def test_lint_off_admits_broken_kernel(self, daemon_factory):
+        harness = daemon_factory(lint=False)
+        harness.client.pause()
+        accepted = harness.client.submit(broken_request())
+        assert "submission" in accepted
+
+    def test_quota_429(self, daemon_factory):
+        harness = daemon_factory(tenant_quota=2)
+        harness.client.pause()
+        harness.client.submit(tiny_request())
+        harness.client.submit(tiny_request(trace_interval=64.0))
+        with pytest.raises(ServiceError) as err:
+            harness.client.submit(tiny_request(trace_interval=32.0))
+        assert err.value.status == 429
+        assert harness.client.status()["stats"]["quota_rejections"] == 1
+
+    def test_quota_is_per_tenant(self, daemon_factory):
+        harness = daemon_factory(tenant_quota=1)
+        harness.client.pause()
+        harness.client.submit(tiny_request())
+        other = ServiceClient(harness.client.base_url, tenant="other")
+        accepted = other.submit(tiny_request(trace_interval=64.0))
+        assert "submission" in accepted
+
+    def test_queue_limit_503(self, daemon_factory):
+        harness = daemon_factory(queue_limit=1, tenant_quota=8)
+        harness.client.pause()
+        harness.client.submit(tiny_request())
+        with pytest.raises(ServiceError) as err:
+            harness.client.submit(tiny_request(trace_interval=64.0))
+        assert err.value.status == 503
+        assert harness.client.status()["stats"]["queue_rejections"] == 1
+
+
+class TestDedup:
+    def test_concurrent_identical_submits_one_simulation(
+            self, daemon_factory):
+        """Eight clients ask for the same digest at once; exactly one
+        simulation runs and every client gets bit-identical results."""
+        harness = daemon_factory(tenant_quota=16)
+        harness.client.pause()
+        request = tiny_request()
+
+        def submit(i):
+            client = ServiceClient(harness.client.base_url,
+                                   tenant=f"t{i}")
+            return client.submit(request, wait=True,
+                                 wait_timeout_s=120)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(submit, i) for i in range(8)]
+            # Wait until all eight are queued server-side, then open
+            # the gate: the batch is admitted as one in-flight task.
+            deadline_stats = None
+            for _ in range(200):
+                deadline_stats = harness.client.status()
+                if deadline_stats["stats"]["submissions"] >= 8:
+                    break
+                import time
+                time.sleep(0.05)
+            assert deadline_stats["stats"]["submissions"] >= 8
+            harness.client.resume()
+            responses = [f.result(timeout=120) for f in futures]
+
+        stats = harness.client.status()["stats"]
+        assert stats["simulations"] == 1
+        assert stats["dedup_hits"] == 7
+        # Bit-identical fan-out: every response carries the same
+        # serialized result.
+        blobs = {json.dumps(r["result"], sort_keys=True)
+                 for r in responses}
+        assert len(blobs) == 1
+        assert sum(r["deduped"] for r in responses) == 7
+
+
+class TestStreaming:
+    def test_stream_windows_then_result(self, daemon_factory):
+        harness = daemon_factory()
+        harness.client.pause()
+        accepted = harness.client.submit(
+            tiny_request(trace_interval=64.0))
+        sub_id = accepted["submission"]
+        harness.client.resume()
+        events = list(harness.client.stream(sub_id))
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "result"
+        assert "window" in kinds
+        windows = [e for e in events if e["event"] == "window"]
+        assert all(w["data"]["end_cycles"] > 0 for w in windows)
+        result = events[-1]["data"]
+        assert result["summary"]["chip_total_w"] > 0
+
+
+class TestJournalRecovery:
+    def test_replay_after_restart(self, daemon_factory, tmp_path):
+        """A submission admitted but unanswered when the daemon dies
+        is re-admitted -- and answered -- by the next daemon."""
+        journal = str(tmp_path / "journal.jsonl")
+        cache = str(tmp_path / "cache")
+        first = daemon_factory(journal_path=journal, cache=cache)
+        first.client.pause()  # admitted, journaled, never dispatched
+        accepted = first.client.submit(tiny_request())
+        sub_id = accepted["submission"]
+        first.stop()
+
+        assert len(Journal.pending(journal)) == 1
+        second = daemon_factory(journal_path=journal, cache=cache)
+        stats = second.client.status()["stats"]
+        assert stats["replayed"] == 1
+        result = second.client.wait(sub_id, timeout_s=120)
+        assert result["state"] == "done"
+        assert result["result"]["summary"]["chip_total_w"] > 0
+        # The answer closes the journal loop: nothing pending now.
+        assert Journal.pending(journal) == []
+
+    def test_replayed_ids_never_collide(self, daemon_factory,
+                                        tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        first = daemon_factory(journal_path=journal)
+        first.client.pause()
+        sub_id = first.client.submit(tiny_request())["submission"]
+        first.stop()
+
+        second = daemon_factory(journal_path=journal)
+        fresh = second.client.submit(tiny_request(trace_interval=64.0))
+        assert fresh["submission"] != sub_id
+
+    def test_done_submissions_not_replayed(self, daemon_factory,
+                                           tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        cache = str(tmp_path / "cache")
+        first = daemon_factory(journal_path=journal, cache=cache)
+        first.client.submit(tiny_request(), wait=True)
+        first.stop()
+
+        second = daemon_factory(journal_path=journal, cache=cache)
+        assert second.client.status()["stats"]["replayed"] == 0
+
+
+class TestJournalFormat:
+    def test_pending_skips_torn_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.record_submit("s000001", "t", "d1", 0, {"k": 1})
+        journal.record_submit("s000002", "t", "d2", 0, {"k": 2})
+        journal.record_done("s000001", "done")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "submit", "sub": "s0000')  # torn
+        pending = Journal.pending(path)
+        assert [p["sub"] for p in pending] == ["s000002"]
+
+    def test_highest_serial(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.record_submit("s000007", "t", "d", 0, {})
+        journal.record_submit("s000003", "t", "d", 0, {})
+        journal.close()
+        assert Journal.highest_serial(path) == 7
+        assert Journal.highest_serial(tmp_path / "missing.jsonl") == 0
