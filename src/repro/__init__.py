@@ -42,8 +42,9 @@ SIM_VERSION = "2013.1"
 from .analysis import (AnalysisResult, Diagnostic, LaunchShape, Severity,
                        analyze_kernel, analyze_launch,
                        compare_static_dynamic)
-from .backends import (SimulationBackend, get_backend, list_backends,
-                       register_backend)
+from .backends import (AUTO_BACKEND, BackendInfo, SimulationBackend,
+                       escalation_path, get_backend, ladder,
+                       list_backends, register_backend, resolve_backend)
 from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
 from .core.validation import SuiteValidation, validate_suite
 from .power.chip import Chip
@@ -56,7 +57,7 @@ from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AnalysisResult", "Diagnostic", "LaunchShape", "Severity",
@@ -67,7 +68,8 @@ __all__ = [
     "SimRequest", "SimJob", "JobResult", "JobFailure", "ResultCache",
     "RunnerError", "run_jobs", "set_fault_plan", "SIM_VERSION",
     "SimulationBackend", "register_backend", "get_backend",
-    "list_backends",
+    "list_backends", "AUTO_BACKEND", "BackendInfo", "ladder",
+    "escalation_path", "resolve_backend",
     "ActivityTracer", "ActivityWindow", "TraceSink", "NullSink",
     "CollectingSink", "PowerSample", "PowerTrace", "sum_windows",
 ]

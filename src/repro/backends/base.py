@@ -1,4 +1,4 @@
-"""The simulation-backend seam: protocol, capabilities and registry.
+"""The simulation-backend seam: protocol, fidelity ladder and registry.
 
 The paper frames the design space of power estimation as a trade-off
 between speed, accuracy and portability (Section II): measured
@@ -15,13 +15,25 @@ Backends register by name, mirroring the experiment registry
 (:mod:`repro.experiments.base`); the runner, the :class:`~repro.core.
 gpusimpow.GPUSimPow` facade and the CLI all dispatch through
 :func:`get_backend`.
+
+Beyond the flat registry, every backend places itself on a **fidelity
+ladder** through its :class:`BackendInfo`: a tier rank (cheapest
+estimator first), a nominal expected |power| error, a rough cost
+relative to the cycle simulator, and its capabilities.  The ladder
+powers the ``auto`` selection policy (:func:`resolve_backend`): a
+request carrying an ``error_budget`` resolves to the cheapest
+auto-eligible tier whose *promised* error fits the budget, escalating
+``surrogate -> analytical -> cycle`` until one does.  Promised errors
+are per-request -- :meth:`SimulationBackend.promised_error` defaults to
+the nominal :attr:`BackendInfo.expected_error` but calibrated backends
+(the surrogate) refine it from their calibration tables.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +44,12 @@ from ..sim.gpu import SimulationOutput
 #: Name of the backend used when none is requested: the cycle-accurate
 #: simulator, the only backend whose results are exact by construction.
 DEFAULT_BACKEND = "cycle"
+
+#: Pseudo-backend name selecting a real tier by error budget at
+#: resolution time (:func:`resolve_backend`).  Never registered: by the
+#: time a simulation (or a cache key) exists, ``auto`` has resolved to
+#: a concrete backend name.
+AUTO_BACKEND = "auto"
 
 
 class BackendError(RuntimeError):
@@ -55,22 +73,81 @@ class BackendCapabilities:
     exact: bool = False
 
 
+@dataclass(frozen=True)
+class BackendInfo:
+    """One backend's rung on the fidelity ladder.
+
+    Replaces the old ad-hoc pair of ``supports_tracing``/``exact``
+    flags as the registry's metadata: capabilities still live here, but
+    alongside the accuracy/cost coordinates the ``auto`` policy and the
+    ``gpusimpow backends`` listing need.
+
+    Attributes:
+        tier: Ladder rank; lower tiers are cheaper and less accurate.
+            Ties are broken by name.
+        expected_error: Nominal absolute relative chip-power error the
+            tier promises (fraction; 0.0 for exact backends).  The
+            static half of the expected-error model -- backends with a
+            per-request model override
+            :meth:`SimulationBackend.promised_error`.
+        relative_cost: Rough per-query cost relative to the ``cycle``
+            backend (1.0); display/ordering metadata, not a timer.
+        capabilities: What the backend can deliver (tracing, exactness).
+        auto: Whether the ``auto`` policy may select this backend.
+            Backends needing explicit tuning (``parallel_cycle``) or
+            existing purely as cross-checks (``functional_ref``) opt
+            out.
+        description: One-line summary for the ladder listing.
+    """
+
+    tier: int = 99
+    expected_error: float = float("inf")
+    relative_cost: float = 1.0
+    capabilities: BackendCapabilities = BackendCapabilities()
+    auto: bool = False
+    description: str = ""
+
+
 class SimulationBackend(ABC):
     """One way to turn (config, launch) into a :class:`SimulationOutput`.
 
-    Subclasses define :attr:`name`, :attr:`version`,
-    :attr:`capabilities` and :meth:`simulate`.  ``version`` enters the
-    runner's content-addressed cache key for non-default backends, so
-    bumping it invalidates exactly that backend's cached results.
+    Subclasses define :attr:`name`, :attr:`version`, :attr:`info` and
+    :meth:`simulate`.  ``version`` enters the runner's
+    content-addressed cache key for non-default backends, so bumping it
+    invalidates exactly that backend's cached results.
     """
 
     name: str = "?"
     version: str = "0"
-    capabilities: BackendCapabilities = BackendCapabilities()
+    #: Ladder metadata; the default marks an unranked backend that the
+    #: ``auto`` policy never selects (third-party backends work without
+    #: declaring a rung).
+    info: BackendInfo = BackendInfo()
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """The backend's capabilities (derived from :attr:`info`)."""
+        return self.info.capabilities
+
+    def promised_error(self, request) -> float:
+        """Expected |chip-power| relative error for one request.
+
+        The bound the ``auto`` policy holds against the request's
+        ``error_budget``, and the value recorded as ``promised_error``
+        on results and cache entries.  Exact backends promise 0.0; the
+        default estimator promise is the nominal
+        :attr:`BackendInfo.expected_error`; calibrated backends refine
+        it per request (and return ``inf`` when they cannot serve the
+        request's config at all).
+        """
+        if self.info.capabilities.exact:
+            return 0.0
+        return self.info.expected_error
 
     def __repr__(self) -> str:
         return (f"<{type(self).__name__} {self.name!r} "
-                f"v{self.version} {self.capabilities}>")
+                f"v{self.version} tier={self.info.tier} "
+                f"{self.capabilities}>")
 
     @abstractmethod
     def simulate(self, config: GPUConfig, launch: KernelLaunch, *,
@@ -191,3 +268,71 @@ def list_backends() -> List[str]:
 def all_backends() -> Dict[str, SimulationBackend]:
     """Name -> backend mapping (a copy; mutating it registers nothing)."""
     return dict(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# The fidelity ladder and the `auto` selection policy
+# ---------------------------------------------------------------------------
+
+
+def ladder() -> List[SimulationBackend]:
+    """Every registered backend, cheapest tier first (ties by name)."""
+    return sorted(_REGISTRY.values(),
+                  key=lambda b: (b.info.tier, b.name))
+
+
+def escalation_path(require_tracing: bool = False
+                    ) -> List[SimulationBackend]:
+    """The ``auto`` policy's candidates, cheapest first.
+
+    Only auto-eligible rungs (``info.auto``); with ``require_tracing``
+    the path further narrows to backends that can drive an
+    :class:`~repro.telemetry.ActivityTracer`, so a traced auto request
+    never resolves to an estimator that cannot produce windows.
+    """
+    return [b for b in ladder()
+            if b.info.auto
+            and (not require_tracing or b.capabilities.supports_tracing)]
+
+
+def resolve_backend(request) -> Tuple[str, float]:
+    """Resolve a request's backend name; returns ``(name, promised)``.
+
+    ``request`` is anything request-shaped (a
+    :class:`~repro.request.SimRequest` or a ``SimJob``).  For a
+    concrete backend name the resolution is the identity plus that
+    backend's per-request promise.  For :data:`AUTO_BACKEND` the
+    request's ``error_budget`` (a fraction; ``None`` means 0.0, i.e.
+    exact) picks the cheapest rung of :func:`escalation_path` whose
+    :meth:`~SimulationBackend.promised_error` fits the budget --
+    escalating ``surrogate -> analytical -> cycle``.  The exact tier
+    promises 0.0, so the walk always terminates.
+
+    Resolution happens *before* cache keying
+    (:func:`repro.runner.cache.request_signature`), so an ``auto``
+    request and the concrete request it resolves to are the same cached
+    artifact -- and ``auto`` with a zero budget keys (and simulates)
+    byte-identically to a plain ``cycle`` request.
+    """
+    name = getattr(request, "backend", DEFAULT_BACKEND)
+    if name != AUTO_BACKEND:
+        backend = get_backend(name)
+        return name, backend.promised_error(request)
+    budget = getattr(request, "error_budget", None)
+    budget = 0.0 if budget is None else float(budget)
+    traced = getattr(request, "trace_interval", None) is not None
+    candidates = escalation_path(require_tracing=traced)
+    if budget <= 0.0:
+        # A zero budget demands exactness; estimators can never fit,
+        # so don't pay for (or risk) their per-request promise models.
+        candidates = [b for b in candidates
+                      if b.info.capabilities.exact]
+    if not candidates:
+        raise BackendError("no auto-eligible backend is registered")
+    chosen, promised = None, float("inf")
+    for backend in candidates:
+        promised = backend.promised_error(request)
+        chosen = backend
+        if promised <= budget:
+            break
+    return chosen.name, promised

@@ -21,7 +21,7 @@ import numpy as np
 from ..isa.launch import KernelLaunch
 from ..sim.config import GPUConfig
 from ..sim.gpu import GPU, SimulationOutput
-from .base import BackendCapabilities, SimulationBackend
+from .base import BackendCapabilities, BackendInfo, SimulationBackend
 
 
 def _sim_version() -> str:
@@ -33,7 +33,12 @@ class CycleBackend(SimulationBackend):
     """The cycle-accurate event-driven simulator (the paper's model)."""
 
     name = "cycle"
-    capabilities = BackendCapabilities(supports_tracing=True, exact=True)
+    info = BackendInfo(
+        tier=3, expected_error=0.0, relative_cost=1.0,
+        capabilities=BackendCapabilities(supports_tracing=True,
+                                         exact=True),
+        auto=True,
+        description="cycle-accurate event-driven simulation (exact)")
 
     @property
     def version(self) -> str:
@@ -53,7 +58,12 @@ class FunctionalRefBackend(SimulationBackend):
     """Cycle engine driven by the scalar per-lane reference interpreter."""
 
     name = "functional_ref"
-    capabilities = BackendCapabilities(supports_tracing=True, exact=True)
+    info = BackendInfo(
+        tier=3, expected_error=0.0, relative_cost=2.0,
+        capabilities=BackendCapabilities(supports_tracing=True,
+                                         exact=True),
+        auto=False,
+        description="scalar reference interpreter (exact cross-check)")
 
     @property
     def version(self) -> str:

@@ -8,6 +8,12 @@ identical job list through two backends (via the pooled/cached runner,
 so backends' results cache independently), evaluates both through the
 unchanged power model, and reports per-component activity deltas plus
 the total-power error distribution.
+
+:func:`sweep_ladder` extends the pairwise diff to the whole fidelity
+ladder: every auto-eligible estimator tier compared against the exact
+``cycle`` reference on one suite, yielding the measured
+error-vs-speedup trade-off curve the ladder's ``BackendInfo`` metadata
+promises.
 """
 
 from __future__ import annotations
@@ -220,3 +226,66 @@ def compare_backends(config: GPUConfig,
         backend_b=backend_b,
         kernels=comparisons,
     )
+
+
+@dataclass
+class LadderRung:
+    """One estimator tier's measured position on the accuracy ladder."""
+
+    backend: str
+    tier: int
+    expected_error: float
+    relative_cost: float
+    comparison: BackendComparison
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "tier": self.tier,
+            "expected_error": self.expected_error,
+            "relative_cost": self.relative_cost,
+            "mean_abs_power_error": self.comparison.mean_abs_power_error,
+            "max_abs_power_error": self.comparison.max_abs_power_error,
+            "speedup_vs_cycle": self.comparison.speedup,
+            "kernels": [
+                {"kernel": k.kernel,
+                 "power_rel_error": k.power_rel_error}
+                for k in self.comparison.kernels
+            ],
+        }
+
+
+def sweep_ladder(config: GPUConfig, kernels: Sequence[str],
+                 jobs: Optional[int] = None, cache="auto",
+                 max_cycles: float = 5e8,
+                 progress=None) -> List[LadderRung]:
+    """Measure every estimator rung against the exact reference.
+
+    Runs ``kernels`` once per auto-eligible inexact backend (cheapest
+    tier first) plus once on ``cycle``, and reports each tier's
+    measured power-error distribution next to the nominal
+    ``expected_error`` its :class:`~repro.backends.base.BackendInfo`
+    claims -- the check that the ladder's promises stay honest.
+    Backends that cannot serve the config (e.g. an uncalibrated
+    surrogate) are skipped rather than failed.
+    """
+    from .base import BackendError, escalation_path
+    rungs: List[LadderRung] = []
+    for backend in escalation_path():
+        if backend.capabilities.exact:
+            continue
+        try:
+            comparison = compare_backends(
+                config, kernels, backend_a="cycle",
+                backend_b=backend.name, jobs=jobs, cache=cache,
+                max_cycles=max_cycles, progress=progress)
+        except BackendError:
+            continue
+        rungs.append(LadderRung(
+            backend=backend.name,
+            tier=backend.info.tier,
+            expected_error=backend.info.expected_error,
+            relative_cost=backend.info.relative_cost,
+            comparison=comparison,
+        ))
+    return rungs

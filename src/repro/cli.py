@@ -90,16 +90,32 @@ def _add_runner_args(p) -> None:
 
 def _add_backend_arg(p) -> None:
     p.add_argument("--backend", default="cycle", metavar="NAME",
-                   help="simulation backend (see `gpusimpow list`; "
-                        "default: cycle)")
+                   help="simulation backend (see `gpusimpow backends`), "
+                        "or 'auto' to pick the cheapest fidelity-ladder "
+                        "tier fitting --error-budget (default: cycle)")
+    p.add_argument("--error-budget", type=float, default=None,
+                   metavar="FRACTION", dest="error_budget",
+                   help="acceptable |chip-power| relative error for "
+                        "--backend auto (e.g. 0.10; default/0.0: exact)")
 
 
 def _check_backend(name: str) -> int:
-    """0 when ``name`` is registered, else prints the choices and 2."""
-    from .backends import list_backends
-    if name not in list_backends():
+    """0 when ``name`` is registered (or 'auto'), else prints the
+    choices and 2."""
+    from .backends import AUTO_BACKEND, list_backends
+    if name != AUTO_BACKEND and name not in list_backends():
         print(f"unknown backend {name!r}; "
-              f"registered: {', '.join(list_backends())}", file=sys.stderr)
+              f"registered: {', '.join(list_backends())} "
+              f"(or '{AUTO_BACKEND}')", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _check_error_budget(args) -> int:
+    """0 when --error-budget is absent or rides --backend auto."""
+    if getattr(args, "error_budget", None) is not None \
+            and args.backend != "auto":
+        print("--error-budget requires --backend auto", file=sys.stderr)
         return 2
     return 0
 
@@ -115,6 +131,57 @@ def _cmd_list(args) -> int:
     print("backends:", ", ".join(
         f"{name} (v{b.version}{', exact' if b.capabilities.exact else ''})"
         for name, b in sorted(all_backends().items())))
+    return 0
+
+
+def _ladder_table() -> str:
+    """The fidelity ladder, one row per backend (cheapest tier first)."""
+    from .backends import escalation_path, ladder
+    auto_names = {b.name for b in escalation_path()}
+    lines = [f"{'tier':>4s}  {'backend':<16s}{'version':<9s}"
+             f"{'exp.error':>9s}  {'rel.cost':>8s}  capabilities"]
+    for backend in ladder():
+        info = backend.info
+        caps = []
+        if info.capabilities.exact:
+            caps.append("exact")
+        if info.capabilities.supports_tracing:
+            caps.append("tracing")
+        if backend.name in auto_names:
+            caps.append("auto")
+        error = ("exact" if info.expected_error == 0.0
+                 else f"{info.expected_error:.0%}")
+        lines.append(f"{info.tier:>4d}  {backend.name:<16s}"
+                     f"{str(backend.version):<9s}{error:>9s}  "
+                     f"{info.relative_cost:>8g}  "
+                     f"{', '.join(caps) or '-'}")
+        if info.description:
+            lines.append(f"{'':6s}{info.description}")
+    return "\n".join(lines)
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` with the ladder appended, bypassing help reflow."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs["nargs"] = 0
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from . import SIM_VERSION, __version__
+        print(f"gpusimpow {__version__} (sim {SIM_VERSION})")
+        print()
+        print("backend fidelity ladder:")
+        print(_ladder_table())
+        parser.exit()
+
+
+def _cmd_backends(args) -> int:
+    """Print the backend fidelity ladder."""
+    print(_ladder_table())
+    print()
+    print("`--backend auto` picks the cheapest auto-eligible tier whose")
+    print("promised error fits `--error-budget` (default 0.0: exact).")
     return 0
 
 
@@ -135,9 +202,10 @@ def _cmd_run(args) -> int:
         print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
               file=sys.stderr)
         return 2
-    if _check_backend(args.backend):
+    if _check_backend(args.backend) or _check_error_budget(args):
         return 2
-    if args.trace_interval is not None:
+    if args.trace_interval is not None and args.backend != "auto":
+        # (auto resolution itself narrows to tracing-capable tiers)
         from .backends import get_backend
         if not get_backend(args.backend).capabilities.supports_tracing:
             print(f"backend {args.backend!r} does not support "
@@ -159,7 +227,8 @@ def _cmd_run(args) -> int:
                      launch=launches[args.kernel],
                      trace_interval=args.trace_interval,
                      backend=args.backend,
-                     backend_options=backend_options)
+                     backend_options=backend_options,
+                     error_budget=args.error_budget)
     if isinstance(args.profile, str):
         # Profile the backend's simulate itself: run the job in this
         # process (no cache, no pool -- a cache hit or a worker-side
@@ -176,11 +245,17 @@ def _cmd_run(args) -> int:
         job, = run_jobs([sim_job], n_jobs=jobs, cache=cache,
                         progress=progress, timeout_s=timeout)
         activity, windows = job.activity, job.windows
+    from .runner.cache import resolved_backend
+    used, promised = resolved_backend(sim_job)
     result = sim.run(launches[args.kernel], activity=activity,
                      windows=windows,
                      trace_interval=args.trace_interval,
-                     backend=args.backend)
-    suffix = "" if args.backend == "cycle" else f" ({args.backend} backend)"
+                     backend=used)
+    if args.backend == "auto":
+        suffix = (f" (auto -> {used} backend, promised error "
+                  f"{promised:.1%})")
+    else:
+        suffix = "" if used == "cycle" else f" ({used} backend)"
     print(f"{args.kernel} on {config.name}{suffix}:")
     print(f"  runtime:       {result.runtime_s * 1e6:10.2f} us "
           f"({result.performance.cycles:.0f} shader cycles, "
@@ -358,6 +433,9 @@ def _cmd_cache(args) -> int:
               f"({stats['bytes'] / 1e6:.2f} MB)")
         print(f"orphans:  {stats['orphans']} interrupted-write temp "
               f"file(s) ({stats['orphan_bytes']} bytes)")
+        for name, count in stats.get("backends", {}).items():
+            print(f"  backend {name}: {count} entr"
+                  f"{'y' if count == 1 else 'ies'}")
         return 0
     # clear
     stats = cache.stats()
@@ -381,13 +459,15 @@ def _cmd_cache(args) -> int:
 
 def _cmd_validate(args) -> int:
     from .core.validation import validate_suite
-    if _check_backend(args.backend):
+    if _check_backend(args.backend) or _check_error_budget(args):
         return 2
     names = args.kernels.split(",") if args.kernels else None
     jobs, cache, progress, timeout = _runner_options(args)
     suite = validate_suite(_load_config(args), kernel_names=names,
                            jobs=jobs, cache=cache, progress=progress,
-                           backend=args.backend, timeout_s=timeout)
+                           backend=args.backend,
+                           error_budget=args.error_budget,
+                           timeout_s=timeout)
     print(f"{suite.gpu}: avg relative error "
           f"{suite.average_relative_error * 100:.1f}%, "
           f"dynamic-only {suite.average_dynamic_error * 100:.1f}%, "
@@ -420,6 +500,16 @@ def _cmd_serve(args) -> int:
     async def _serve() -> None:
         daemon = ServiceDaemon(service, host=args.host, port=args.port)
         await daemon.start()
+        if args.journal:
+            counts = ""
+            if service.cache is not None:
+                per_backend = service.cache.stats().get("backends", {})
+                if per_backend:
+                    counts = " (cache: " + ", ".join(
+                        f"{name}={count}"
+                        for name, count in per_backend.items()) + ")"
+            print(f"journal replayed {daemon.replayed} pending "
+                  f"submission(s){counts}", file=sys.stderr, flush=True)
         print(f"gpusimpow service listening on "
               f"http://{daemon.host}:{daemon.port}",
               file=sys.stderr, flush=True)
@@ -447,11 +537,12 @@ def _cmd_submit(args) -> int:
         print(f"unknown kernel {args.kernel!r}; try `gpusimpow list`",
               file=sys.stderr)
         return 2
-    if _check_backend(args.backend):
+    if _check_backend(args.backend) or _check_error_budget(args):
         return 2
     request = SimRequest(config=_load_config(args), kernel=args.kernel,
                          trace_interval=args.trace_interval,
-                         backend=args.backend)
+                         backend=args.backend,
+                         error_budget=args.error_budget)
     client = ServiceClient(args.url, tenant=args.tenant)
     try:
         payload = client.submit(request, priority=args.priority,
@@ -498,10 +589,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="gpusimpow",
         description="GPUSimPow: coupled GPGPU performance+power simulation",
     )
-    from . import SIM_VERSION, __version__
-    parser.add_argument("--version", action="version",
-                        version=f"gpusimpow {__version__} "
-                                f"(sim {SIM_VERSION})")
+    parser.add_argument("--version", action=_VersionAction,
+                        help="show version and the backend ladder")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_gpu_args(p):
@@ -512,6 +601,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list benchmarks and kernels")
     p_list.set_defaults(func=_cmd_list)
+
+    p_backends = sub.add_parser("backends",
+                                help="list the backend fidelity ladder")
+    p_backends.set_defaults(func=_cmd_backends)
 
     p_arch = sub.add_parser("arch", help="area/static/peak for a config")
     add_gpu_args(p_arch)

@@ -41,6 +41,12 @@ class SimulationResult(Serializable):
     ``trace`` is the windowed :class:`~repro.telemetry.PowerTrace` when
     the run was traced (``trace_interval``/``sink`` passed, or replayed
     with windows) and ``None`` otherwise.
+
+    ``backend`` is the *concrete* backend that produced the numbers --
+    a request for ``"auto"`` records its fidelity-ladder resolution
+    here, with ``promised_error`` carrying the |chip-power| relative
+    error that tier promised at selection time (0.0 for exact tiers,
+    ``None`` for replayed activity of unknown provenance).
     """
 
     kernel_name: str
@@ -49,6 +55,7 @@ class SimulationResult(Serializable):
     power: PowerReport
     trace: Optional[PowerTrace] = field(default=None, repr=False)
     backend: str = "cycle"
+    promised_error: Optional[float] = None
 
     @property
     def activity(self) -> ActivityReport:
@@ -98,6 +105,8 @@ class SimulationResult(Serializable):
             "power": self.power.to_dict(),
             "backend": self.backend,
         }
+        if self.promised_error is not None:
+            data["promised_error"] = self.promised_error
         if self.performance.windows is not None:
             data["windows"] = windows_to_dicts(self.performance.windows)
         if self.trace is not None:
@@ -121,6 +130,7 @@ class SimulationResult(Serializable):
             trace=(PowerTrace.from_dict(data["trace"])
                    if "trace" in data else None),
             backend=data.get("backend", "cycle"),
+            promised_error=data.get("promised_error"),
         )
 
 
@@ -146,6 +156,7 @@ class GPUSimPow:
                     trace_interval: Optional[float],
                     backend: str,
                     backend_options: Optional[Dict[str, Any]],
+                    error_budget: Optional[float] = None,
                     ) -> "SimRequest":
         """Normalise keyword-shim arguments into one ``SimRequest``.
 
@@ -158,7 +169,8 @@ class GPUSimPow:
         if request is not None:
             if (launch is not None or kernel is not None
                     or trace_interval is not None or backend != "cycle"
-                    or backend_options is not None):
+                    or backend_options is not None
+                    or error_budget is not None):
                 raise ValueError(
                     "pass either request= or the keyword form, not both")
             if request.config != self.config:
@@ -169,7 +181,8 @@ class GPUSimPow:
         return SimRequest(config=self.config, kernel=kernel,
                           launch=launch, trace_interval=trace_interval,
                           backend=backend,
-                          backend_options=backend_options)
+                          backend_options=backend_options,
+                          error_budget=error_budget)
 
     def run(self, launch: Optional[KernelLaunch] = None,
             activity: Optional[ActivityReport] = None,
@@ -178,6 +191,7 @@ class GPUSimPow:
             sink: Optional[TraceSink] = None,
             backend: str = "cycle",
             backend_options: Optional[Dict[str, Any]] = None,
+            error_budget: Optional[float] = None,
             *, request: Optional["SimRequest"] = None,
             ) -> SimulationResult:
         """Simulate one request (or ``launch``) and evaluate its power.
@@ -203,32 +217,41 @@ class GPUSimPow:
             sink: Optional :class:`~repro.telemetry.TraceSink` receiving
                 windows as they are cut (implies tracing, with a
                 1000-cycle default interval).
-            backend: Simulation backend name (``repro.backends``); for
-                replays (``activity`` given) it only records which
-                backend produced the supplied report.
+            backend: Simulation backend name (``repro.backends``), or
+                ``"auto"`` for fidelity-ladder resolution against
+                ``error_budget``; for replays (``activity`` given) it
+                only records which backend produced the supplied
+                report.
             backend_options: Extra keyword arguments for the backend's
                 ``simulate`` (e.g. ``epoch_cycles``/``n_shards`` for
                 ``parallel_cycle``); ignored for replays.
+            error_budget: Acceptable |chip-power| relative error
+                (fraction) steering ``backend="auto"``; ``None``/0.0
+                resolve to the exact ``cycle`` tier.
             request: The canonical description of what to simulate;
                 mutually exclusive with ``launch``/``trace_interval``/
                 ``backend``/``backend_options`` (``sink`` composes with
                 it, as do the ``activity``/``windows`` replay inputs).
         """
-        from ..backends import get_backend
+        from ..backends import get_backend, resolve_backend
         req = self._as_request(request, launch, None, trace_interval,
-                               backend, backend_options)
+                               backend, backend_options, error_budget)
         run_launch = req.resolve_launch()
+        resolved, promised = resolve_backend(req)
         tracer = None
         if activity is None:
             if req.trace_interval is not None or sink is not None:
                 tracer = ActivityTracer(req.trace_interval or 1000.0,
                                         sink=sink)
-            perf = get_backend(req.backend).simulate(
+            perf = get_backend(resolved).simulate(
                 self.config, run_launch, max_cycles=req.max_cycles,
                 tracer=tracer, **(req.backend_options or {}))
             activity = perf.activity
         else:
-            get_backend(req.backend)  # fail fast on unknown names
+            # Replayed activity: the resolution above already failed
+            # fast on unknown names; the promise is meaningless for a
+            # report of unknown provenance.
+            promised = None
             perf = SimulationOutput.replay(self.config, run_launch,
                                            activity, windows=windows)
         power = self.chip.evaluate(activity)
@@ -246,7 +269,8 @@ class GPUSimPow:
             performance=perf,
             power=power,
             trace=trace,
-            backend=req.backend,
+            backend=resolved,
+            promised_error=promised,
         )
 
     def run_benchmark(self, name: Optional[str] = None,
@@ -254,6 +278,7 @@ class GPUSimPow:
                       sink: Optional[TraceSink] = None,
                       backend: str = "cycle",
                       backend_options: Optional[Dict[str, Any]] = None,
+                      error_budget: Optional[float] = None,
                       *, request: Optional["SimRequest"] = None,
                       ) -> "BenchmarkResult":
         """Run all kernels of a Table I benchmark as a dependent chain.
@@ -266,14 +291,17 @@ class GPUSimPow:
         field naming the benchmark) is the primary form and the keyword
         signature is a shim over it.
         """
-        from ..backends import get_backend
+        from ..backends import get_backend, resolve_backend
         from ..workloads import build_benchmark
         req = self._as_request(request, None, name, trace_interval,
-                               backend, backend_options)
+                               backend, backend_options, error_budget)
         if not req.kernel:
             raise ValueError("run_benchmark needs a benchmark name")
+        # Ladder resolution happens once for the whole chain, so every
+        # kernel of the benchmark runs at the same fidelity.
+        resolved, promised = resolve_backend(req)
         launches = build_benchmark(req.kernel)
-        outputs = get_backend(req.backend).simulate_sequence(
+        outputs = get_backend(resolved).simulate_sequence(
             self.config, launches, max_cycles=req.max_cycles,
             trace_interval=req.trace_interval,
             sink=sink, **(req.backend_options or {}))
@@ -290,7 +318,8 @@ class GPUSimPow:
                 performance=perf,
                 power=self.chip.evaluate(perf.activity),
                 trace=trace,
-                backend=req.backend,
+                backend=resolved,
+                promised_error=promised,
             ))
         return BenchmarkResult(benchmark=req.kernel, kernels=results)
 

@@ -115,6 +115,7 @@ def validate_suite(config: GPUConfig,
                    cache=AUTO,
                    progress=None,
                    backend: str = "cycle",
+                   error_budget: Optional[float] = None,
                    timeout_s: Optional[float] = None) -> SuiteValidation:
     """Run the full Fig. 6 comparison for one GPU configuration.
 
@@ -128,6 +129,8 @@ def validate_suite(config: GPUConfig,
             :class:`~repro.runner.JobFailure` for failed jobs).
         backend: Simulation backend for the performance side (the
             virtual-hardware measurement side is unaffected).
+        error_budget: Acceptable relative power error when ``backend``
+            is ``"auto"``; ignored otherwise.
         timeout_s: Per-job wall-clock budget, passed through to
             :func:`repro.runner.run_jobs` (None = runner default, see
             :func:`repro.runner.resolve_timeout`).
@@ -140,7 +143,7 @@ def validate_suite(config: GPUConfig,
     # parallel part; fan them out through the runner, then evaluate the
     # (cheap) power model serially on each returned activity report.
     sim_jobs = [SimJob(config=config, kernel=name, launch=launches[name],
-                       backend=backend)
+                       backend=backend, error_budget=error_budget)
                 for name in names]
     job_results = run_jobs(sim_jobs, n_jobs=jobs, cache=cache,
                            progress=progress, timeout_s=timeout_s)
@@ -150,7 +153,7 @@ def validate_suite(config: GPUConfig,
     results = {}
     for name, jr in zip(names, job_results):
         result = sim.run(launches[name], activity=jr.activity,
-                         backend=backend)
+                         backend=backend, error_budget=error_budget)
         results[name] = result
         session.append((name, result.activity, launches[name].repeat,
                         launches[name].repeatable))

@@ -29,7 +29,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
-from ..backends.validation import BackendComparison, compare_backends
+from ..backends.validation import (BackendComparison, LadderRung,
+                                   compare_backends, sweep_ladder)
 from ..runner import AUTO
 from ..sim.config import gt240, gtx580
 
@@ -54,6 +55,7 @@ class BackendsResult:
     exact: BackendComparison      # cycle vs functional_ref
     estimate: BackendComparison   # cycle vs analytical
     relaxed: BackendComparison    # cycle vs parallel_cycle
+    ladder: List[LadderRung]      # every estimator rung vs cycle
 
 
 def run(jobs: Optional[int] = None, cache=AUTO,
@@ -79,6 +81,8 @@ def run(jobs: Optional[int] = None, cache=AUTO,
                                      "n_shards": PARALLEL_SHARDS},
                                  jobs=jobs, cache=cache,
                                  progress=progress),
+        ladder=sweep_ladder(gtx580(), ESTIMATE_KERNELS,
+                            jobs=jobs, cache=cache, progress=progress),
     )
 
 
@@ -117,6 +121,16 @@ def format_table(result: BackendsResult) -> str:
                      f"{k.cycles_b:>12.0f}"
                      f"{k.cycles_rel_error * 100:>8.2f}%"
                      f"{k.power_rel_error * 100:>8.2f}%")
+    lines.append("")
+    lines.append("fidelity ladder vs cycle (GTX580, Table IV suite):")
+    lines.append(f"{'tier':>4s}  {'backend':<14s}{'promised':>9s}"
+                 f"{'mean err':>9s}{'max err':>9s}")
+    for rung in result.ladder:
+        cmp_ = rung.comparison
+        lines.append(f"{rung.tier:>4d}  {rung.backend:<14s}"
+                     f"{rung.expected_error * 100:>8.1f}%"
+                     f"{cmp_.mean_abs_power_error * 100:>8.1f}%"
+                     f"{cmp_.max_abs_power_error * 100:>8.1f}%")
     return "\n".join(lines)
 
 
@@ -125,7 +139,8 @@ def write_report(result: BackendsResult, out_dir: Path) -> List[Path]:
     path = Path(out_dir) / "backends.json"
     payload = {"exact": result.exact.to_dict(),
                "estimate": result.estimate.to_dict(),
-               "relaxed": result.relaxed.to_dict()}
+               "relaxed": result.relaxed.to_dict(),
+               "ladder": [rung.to_dict() for rung in result.ladder]}
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return [path]
 

@@ -199,3 +199,37 @@ def launch_from_dict(data: Dict[str, Any]) -> KernelLaunch:
         repeat=int(data.get("repeat", 1)),
         repeatable=bool(data.get("repeatable", True)),
     )
+
+
+def launch_fingerprint(launch: KernelLaunch) -> str:
+    """Stable digest of a launch's *static shape*: IR + geometry + params.
+
+    Unlike the runner's full cache key
+    (:func:`repro.runner.cache.launch_signature`), the fingerprint
+    deliberately ignores the initial memory images: it names what a
+    static analysis can see -- the kernel IR, the launch geometry, the
+    scalar parameters and the repeat policy -- so it keys memoized
+    static-analyzer artifacts (the surrogate backend's feature vectors
+    and promised-error estimates) that are data-independent by
+    construction.  Two launches differing only in their memory contents
+    share a fingerprint; two launches differing in any instruction,
+    dimension or parameter never do.
+    """
+    import hashlib
+    import json
+    kernel = launch.kernel
+    payload = {
+        "kernel": kernel.name,
+        "ir": [repr(inst) for inst in kernel.instructions],
+        "n_regs": kernel.n_regs,
+        "n_preds": kernel.n_preds,
+        "smem_words": kernel.smem_words,
+        "grid": _dim3_to_list(launch.grid),
+        "block": _dim3_to_list(launch.block),
+        "gmem_words": launch.gmem_words,
+        "params": {k: repr(v) for k, v in sorted(launch.params.items())},
+        "repeat": launch.repeat,
+        "repeatable": launch.repeatable,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -55,10 +55,17 @@ class SimRequest(Serializable):
         trace_interval: Telemetry window length in shader cycles; when
             set, results carry per-window activity deltas (and the
             interval becomes part of the digest).
-        backend: Simulation backend name (``repro.backends`` registry).
+        backend: Simulation backend name (``repro.backends`` registry),
+            or ``"auto"`` to let the fidelity ladder pick the cheapest
+            tier whose promised error fits ``error_budget``.
         backend_options: Extra keyword arguments for the backend's
             ``simulate``; result-changing options enter the digest
             through the backend's ``cache_signature``.
+        error_budget: Acceptable |chip-power| relative error (a
+            fraction in [0, 1]) for ``backend="auto"`` resolution;
+            ``None`` (and 0.0) demand exactness, resolving to the
+            ``cycle`` tier.  Selection policy, not simulation input:
+            never part of the digest -- only the *resolved* backend is.
         timeout_s: Per-attempt wall-clock budget in seconds (execution
             policy -- deliberately *not* part of the digest).
         tag: Optional display label overriding the derived one.
@@ -74,6 +81,7 @@ class SimRequest(Serializable):
     trace_interval: Optional[float] = None
     backend: str = "cycle"
     backend_options: Optional[Dict[str, Any]] = None
+    error_budget: Optional[float] = None
     timeout_s: Optional[float] = None
     tag: str = ""
     tags: Dict[str, str] = field(default_factory=dict)
@@ -87,6 +95,10 @@ class SimRequest(Serializable):
                              f"got {self.trace_interval!r}")
         if not self.backend:
             raise ValueError("SimRequest.backend must be a backend name")
+        if self.error_budget is not None \
+                and not 0.0 <= self.error_budget <= 1.0:
+            raise ValueError(f"error_budget must be a fraction in "
+                             f"[0, 1], got {self.error_budget!r}")
         if self.timeout_s is not None and not self.timeout_s > 0:
             raise ValueError(f"timeout_s must be positive, "
                              f"got {self.timeout_s!r}")
@@ -148,6 +160,7 @@ class SimRequest(Serializable):
             backend=job.backend,
             backend_options=(None if job.backend_options is None
                              else dict(job.backend_options)),
+            error_budget=job.error_budget,
             timeout_s=job.timeout_s,
             tag=job.tag,
         )
@@ -173,6 +186,8 @@ class SimRequest(Serializable):
             data["backend"] = self.backend
         if self.backend_options:
             data["backend_options"] = dict(self.backend_options)
+        if self.error_budget is not None:
+            data["error_budget"] = self.error_budget
         if self.timeout_s is not None:
             data["timeout_s"] = self.timeout_s
         if self.tag:
@@ -190,7 +205,7 @@ class SimRequest(Serializable):
         """
         known = {"config", "kernel", "launch", "max_cycles",
                  "trace_interval", "backend", "backend_options",
-                 "timeout_s", "tag", "tags"}
+                 "error_budget", "timeout_s", "tag", "tags"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
@@ -200,6 +215,7 @@ class SimRequest(Serializable):
         if data.get("launch") is not None:
             launch = launch_from_dict(data["launch"])
         trace_interval = data.get("trace_interval")
+        error_budget = data.get("error_budget")
         timeout_s = data.get("timeout_s")
         return cls(
             config=GPUConfig.from_dict(data["config"]),
@@ -211,6 +227,8 @@ class SimRequest(Serializable):
             backend=str(data.get("backend", "cycle")),
             backend_options=(dict(data["backend_options"])
                              if data.get("backend_options") else None),
+            error_budget=(None if error_budget is None
+                          else float(error_budget)),
             timeout_s=None if timeout_s is None else float(timeout_s),
             tag=str(data.get("tag", "")),
             tags={str(k): str(v)

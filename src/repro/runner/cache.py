@@ -110,9 +110,21 @@ def request_signature(request) -> Dict[str, Any]:
     least its name *and* model version (so bumping a backend version
     invalidates exactly that backend's entries), plus any resolved
     result-changing options (e.g. ``parallel_cycle``'s epoch length
-    and shard count).  Execution policy (``timeout_s``) and
-    presentation (``tag``/``tags``) never enter.
+    and shard count).  Execution policy (``timeout_s``), selection
+    policy (``error_budget``) and presentation (``tag``/``tags``)
+    never enter.
+
+    An ``"auto"`` backend resolves through the fidelity ladder
+    (:func:`repro.backends.resolve_backend`) *before* any of this, so
+    only concrete backend names ever reach a payload: an ``auto``
+    request and the concrete request it resolves to are one cached
+    artifact, and ``auto`` with a zero (or absent) ``error_budget``
+    keys byte-identically to a plain ``cycle`` request.
     """
+    backend_name = getattr(request, "backend", "cycle")
+    if backend_name == "auto":  # AUTO_BACKEND (import kept lazy)
+        from ..backends import resolve_backend
+        backend_name, _ = resolve_backend(request)
     payload: Dict[str, Any] = {
         "sim_version": _version_tag(),
         "config": config_signature(request.config),
@@ -121,11 +133,11 @@ def request_signature(request) -> Dict[str, Any]:
     }
     if request.trace_interval is not None:
         payload["trace_interval"] = repr(float(request.trace_interval))
-    if request.backend != "cycle" \
+    if backend_name != "cycle" \
             or getattr(request, "backend_options", None):
         from ..backends import get_backend
         payload["backend"] = \
-            get_backend(request.backend).cache_signature(request)
+            get_backend(backend_name).cache_signature(request)
     return payload
 
 
@@ -138,6 +150,37 @@ def request_key(request) -> str:
     blob = json.dumps(request_signature(request), sort_keys=True,
                       separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def base_request_key(request) -> str:
+    """The request's key with the backend section stripped.
+
+    Two requests with the same base key name the *same simulation* run
+    at different fidelities: an estimator entry stores its base key so
+    that when an exact (``cycle``) result later lands under it, the
+    estimator's ``achieved_error`` can be measured and backfilled.  For
+    a plain untraced ``cycle`` request the base key *is* the key.
+    """
+    payload = request_signature(request)
+    payload.pop("backend", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def resolved_backend(job) -> Tuple[str, float]:
+    """``(concrete backend name, promised error)`` for one job.
+
+    The identity (plus the backend's per-request promise) for concrete
+    names; the fidelity-ladder resolution for ``"auto"``.
+    """
+    from ..backends import resolve_backend
+    return resolve_backend(job)
+
+
+def _backend_is_exact(name: str) -> bool:
+    from ..backends import all_backends
+    backend = all_backends().get(name)
+    return bool(backend is not None and backend.capabilities.exact)
 
 
 def job_key(job: SimJob) -> str:
@@ -214,6 +257,7 @@ class ResultCache:
         backend).  A corrupt entry is unlinked so the re-simulated
         result is re-stored cleanly.
         """
+        resolved, _ = resolved_backend(job)
         if key is None:
             key = job_key(job)
         path = self.path_for(key)
@@ -229,9 +273,10 @@ class ResultCache:
                 raise ValueError("entry is not a JSON object")
             # Entries written before backends existed carry no backend
             # field; they are all cycle-backend results, so only a
-            # mismatch with an explicit different backend is stale.
+            # mismatch with an explicit different (resolved) backend is
+            # stale.
             if (entry.get("sim_version") != _version_tag()
-                    or entry.get("backend", "cycle") != job.backend):
+                    or entry.get("backend", "cycle") != resolved):
                 self.misses += 1
                 return None, False
             activity = _report_from_dict(entry["activity"])
@@ -243,6 +288,8 @@ class ResultCache:
                 # the interval) degrades to a miss.
                 from ..telemetry import windows_from_dicts
                 windows = windows_from_dicts(entry["windows"])
+            promised = entry.get("promised_error")
+            achieved = entry.get("achieved_error")
         except (ValueError, KeyError, TypeError):
             self.misses += 1
             self.corrupt += 1
@@ -252,13 +299,32 @@ class ResultCache:
                 pass
             return None, True
         self.hits += 1
+        if promised is None and _backend_is_exact(resolved):
+            promised = 0.0
         return JobResult(job=job, activity=activity, cycles=cycles,
-                         cached=True, windows=windows), False
+                         cached=True, windows=windows,
+                         backend_used=resolved,
+                         promised_error=(None if promised is None
+                                         else float(promised)),
+                         achieved_error=(None if achieved is None
+                                         else float(achieved))), False
 
     def put(self, job: SimJob, activity: ActivityReport, cycles: float,
             key: Optional[str] = None,
             windows: Optional[List] = None) -> str:
-        """Store one result; returns its key.  Writes are atomic."""
+        """Store one result; returns its key.  Writes are atomic.
+
+        Entries record the *resolved* backend.  Estimator entries
+        (inexact backends) additionally carry their ``promised_error``
+        and ``base_key``, and register under ``links/<base_key>.link``
+        so a later exact run of the same simulation backfills their
+        measured ``achieved_error`` in place; symmetrically, a plain
+        ``cycle`` store immediately grades any estimator entries
+        already linked to it, and an estimator store grades itself
+        against an exact entry that already exists.  Plain ``cycle``
+        entries keep their exact pre-ladder shape.
+        """
+        resolved, promised = resolved_backend(job)
         if key is None:
             key = job_key(job)
         path = self.path_for(key)
@@ -267,13 +333,23 @@ class ResultCache:
             "sim_version": _version_tag(),
             "kernel": job.label,
             "gpu": job.config.name,
-            "backend": job.backend,
+            "backend": resolved,
             "cycles": float(cycles),
             "activity": activity.as_dict(),
         }
         if windows is not None:
             from ..telemetry import windows_to_dicts
             entry["windows"] = windows_to_dicts(windows)
+        exact = _backend_is_exact(resolved)
+        base = None
+        if not exact:
+            base = base_request_key(job)
+            entry["promised_error"] = float(promised)
+            entry["base_key"] = base
+            achieved = self._grade_against_exact(job.config, activity,
+                                                 base)
+            if achieved is not None:
+                entry["achieved_error"] = achieved
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -283,7 +359,99 @@ class ResultCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
         self.stores += 1
+        if base is not None and "achieved_error" not in entry:
+            self._register_link(base, key)
+        if exact and resolved == "cycle" and key == base_request_key(job):
+            self._backfill_links(key, job.config, activity)
         return key
+
+    # -- achieved-error bookkeeping -------------------------------------------
+
+    def _link_path(self, base: str) -> Path:
+        # ``.link`` (not ``.json``) so link bookkeeping never shows up
+        # in entry counts, sizes or ``clear()`` globs.
+        return self.root / "links" / f"{base}.link"
+
+    @staticmethod
+    def _power_of(config, activity: ActivityReport) -> float:
+        from ..power.chip import Chip
+        return Chip(config).evaluate(activity).chip_total_w
+
+    def _grade_against_exact(self, config, activity: ActivityReport,
+                             base: str) -> Optional[float]:
+        """|power error| of ``activity`` vs the exact entry at ``base``
+        (None when no usable exact entry exists yet)."""
+        try:
+            with open(self.path_for(base), "r", encoding="utf-8") as f:
+                exact_entry = json.load(f)
+            if not isinstance(exact_entry, dict) \
+                    or exact_entry.get("sim_version") != _version_tag() \
+                    or exact_entry.get("backend", "cycle") != "cycle":
+                return None
+            exact_activity = _report_from_dict(exact_entry["activity"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        exact_power = self._power_of(config, exact_activity)
+        if exact_power <= 0:
+            return None
+        estimate = self._power_of(config, activity)
+        return abs(estimate - exact_power) / exact_power
+
+    def _register_link(self, base: str, key: str) -> None:
+        """Record that estimator entry ``key`` awaits grading against a
+        future exact result at ``base``.  Best-effort: a lost link only
+        costs a backfill, never correctness."""
+        path = self._link_path(base)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            keys: List[str] = []
+            if path.exists():
+                with open(path, "r", encoding="utf-8") as handle:
+                    keys = [str(k) for k in json.load(handle)]
+            if key in keys:
+                return
+            keys.append(key)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(keys, handle)
+            os.replace(tmp, path)
+        except (OSError, ValueError, TypeError):
+            pass
+
+    def _backfill_links(self, base: str, config,
+                        exact_activity: ActivityReport) -> None:
+        """Grade every estimator entry linked to ``base`` in place."""
+        path = self._link_path(base)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                keys = [str(k) for k in json.load(handle)]
+        except (OSError, ValueError, TypeError):
+            return
+        exact_power = self._power_of(config, exact_activity)
+        for est_key in keys:
+            est_path = self.path_for(est_key)
+            try:
+                with open(est_path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if not isinstance(entry, dict) \
+                        or "achieved_error" in entry \
+                        or exact_power <= 0:
+                    continue
+                estimate = self._power_of(
+                    config, _report_from_dict(entry["activity"]))
+                entry["achieved_error"] = \
+                    abs(estimate - exact_power) / exact_power
+                fd, tmp = tempfile.mkstemp(dir=est_path.parent,
+                                           suffix=".tmp")
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp, est_path)
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     # -- invalidation ---------------------------------------------------------
 
@@ -306,6 +474,13 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        # Achieved-error link bookkeeping is meaningless without the
+        # entries it points at; drop it too (not counted as entries).
+        for path in self.root.glob("links/*.link"):
+            try:
+                path.unlink()
             except OSError:
                 pass
         self.sweep_orphans(max_age_s=0.0)
@@ -341,12 +516,19 @@ class ResultCache:
         return removed
 
     def stats(self) -> Dict[str, Any]:
-        """Entry count, on-disk bytes, orphaned temp files and location
-        (for ``cache stats``)."""
+        """Entry count, on-disk bytes, orphaned temp files, location
+        and per-backend entry counts (for ``cache stats``).
+
+        ``backends`` maps each backend name to how many entries it
+        produced -- entries predating the backend field count as
+        ``cycle``, and unreadable entries count under ``"?"`` (they
+        still occupy a file, so they stay in ``entries`` too).
+        """
         entries = 0
         size = 0
         orphan_files = 0
         orphan_bytes = 0
+        backends: Dict[str, int] = {}
         if self.root.exists():
             for path in self.root.glob("*/*.json"):
                 entries += 1
@@ -354,6 +536,12 @@ class ResultCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        name = json.load(handle).get("backend", "cycle")
+                except (OSError, ValueError, AttributeError):
+                    name = "?"
+                backends[str(name)] = backends.get(str(name), 0) + 1
             for path in self.orphans():
                 orphan_files += 1
                 try:
@@ -362,4 +550,5 @@ class ResultCache:
                     pass
         return {"location": str(self.root), "entries": entries,
                 "bytes": size, "orphans": orphan_files,
-                "orphan_bytes": orphan_bytes}
+                "orphan_bytes": orphan_bytes,
+                "backends": dict(sorted(backends.items()))}

@@ -446,11 +446,15 @@ def run_jobs(jobs: Sequence[SimJob],
         if store is not None and keys[index] is not None:
             store.put(job, activity, cycles, key=keys[index],
                       windows=windows)
+        from .cache import resolved_backend
+        backend_used, promised = resolved_backend(job)
         result = JobResult(job=job, activity=activity, cycles=cycles,
                            cached=False, duration_s=duration, worker=pid,
                            windows=windows,
                            attempts=len(durations[index]) + 1,
-                           faults=list(fault_log[index]))
+                           faults=list(fault_log[index]),
+                           backend_used=backend_used,
+                           promised_error=promised)
         results[index] = result
         notify(result)
 

@@ -103,9 +103,15 @@ class SimJob:
         trace_interval: Telemetry window length in shader cycles; when
             set, the result carries per-window activity deltas (and the
             interval becomes part of the cache key).
-        backend: Simulation backend name (``repro.backends`` registry).
-            Non-default backends enter the cache key, so each backend's
-            results are distinct artifacts.
+        backend: Simulation backend name (``repro.backends`` registry),
+            or ``"auto"`` for error-budget resolution through the
+            fidelity ladder.  Non-default backends enter the cache key
+            -- always under their *resolved* name, so an ``auto`` job
+            and the concrete job it resolves to are one cached
+            artifact.
+        error_budget: Acceptable |chip-power| relative error (fraction
+            in [0, 1]) steering ``backend="auto"``; ``None``/0.0 mean
+            exact.  Selection policy -- never part of the cache key.
         backend_options: Extra keyword arguments for the backend's
             ``simulate`` (e.g. ``epoch_cycles``/``n_shards`` for
             ``parallel_cycle``).  Result-changing options enter the
@@ -124,6 +130,7 @@ class SimJob:
     trace_interval: Optional[float] = None
     backend: str = "cycle"
     backend_options: Optional[Dict[str, object]] = None
+    error_budget: Optional[float] = None
     timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -134,6 +141,10 @@ class SimJob:
                 f"trace_interval must be positive, got {self.trace_interval!r}")
         if not self.backend:
             raise ValueError("SimJob.backend must be a backend name")
+        if self.error_budget is not None \
+                and not 0.0 <= self.error_budget <= 1.0:
+            raise ValueError(f"error_budget must be a fraction in "
+                             f"[0, 1], got {self.error_budget!r}")
         if self.timeout_s is not None and not self.timeout_s > 0:
             raise ValueError(
                 f"timeout_s must be positive, got {self.timeout_s!r}")
@@ -157,6 +168,7 @@ class SimJob:
             backend=request.backend,
             backend_options=(None if request.backend_options is None
                              else dict(request.backend_options)),
+            error_budget=request.error_budget,
             timeout_s=request.timeout_s,
         )
 
@@ -192,12 +204,14 @@ class SimJob:
     def execute(self):
         """Run the job in this process; returns a ``SimulationOutput``.
 
-        Dispatches through the backend registry -- an unknown backend
-        name or a tracing request against a backend that cannot trace
-        fails here, before any simulation work.
+        Dispatches through the backend registry, resolving ``"auto"``
+        against the fidelity ladder first -- an unknown backend name or
+        a tracing request against a backend that cannot trace fails
+        here, before any simulation work.
         """
-        from ..backends import get_backend
-        backend = get_backend(self.backend)
+        from ..backends import get_backend, resolve_backend
+        name, _ = resolve_backend(self)
+        backend = get_backend(name)
         tracer = None
         if self.trace_interval is not None:
             from ..telemetry import ActivityTracer
@@ -222,6 +236,15 @@ class JobResult:
     run); ``faults`` records every :class:`JobFailure` the engine
     overcame on the way to this result -- transient failures that were
     retried, and corrupt cache entries that degraded to misses.
+
+    The fidelity-ladder provenance trio: ``backend_used`` is the
+    concrete backend that produced the numbers (the resolution of
+    ``"auto"``); ``promised_error`` the |chip-power| relative error it
+    promised at selection time (0.0 for exact tiers); and
+    ``achieved_error`` the *measured* error -- known only once an exact
+    tier has run the same simulation, so it is usually ``None`` on
+    fresh estimator results and appears on cache hits after the cycle
+    backend later ran the same digest.
     """
 
     job: SimJob
@@ -234,6 +257,9 @@ class JobResult:
                                                       repr=False)
     attempts: int = 1
     faults: List[JobFailure] = field(default_factory=list, repr=False)
+    backend_used: str = ""
+    promised_error: Optional[float] = None
+    achieved_error: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -241,5 +267,8 @@ class JobResult:
 
     @property
     def backend(self) -> str:
-        """Name of the simulation backend that produced this result."""
-        return self.job.backend
+        """Name of the simulation backend that produced this result.
+
+        The resolved name when the job asked for ``"auto"``.
+        """
+        return self.backend_used or self.job.backend

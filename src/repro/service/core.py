@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..analysis import Severity, analyze_launch
-from ..backends import get_backend
+from ..backends import get_backend, resolve_backend
 from ..core.gpusimpow import GPUSimPow
 from ..request import SimRequest
 from ..runner import AUTO, ResultCache, RunnerError, run_jobs
@@ -253,7 +253,10 @@ class PowerService:
         try:
             request = SimRequest.from_dict(raw)
             launch = request.resolve_launch()
-            get_backend(request.backend)
+            # Validates the backend name -- including resolving "auto"
+            # through the fidelity ladder, so an unsatisfiable budget
+            # or unknown name is rejected before any queue is spent.
+            resolve_backend(request)
         except (ValueError, KeyError, TypeError) as exc:
             return 400, {"error": "bad-request", "message": str(exc)}
         try:
@@ -292,8 +295,11 @@ class PowerService:
         if self.cache is not None and digest not in self._inflight:
             hit = self.cache.get(request.to_job(), key=digest)
             if hit is not None:
-                payload = self._build_payload(request, hit.activity,
-                                              hit.windows, cached=True)
+                payload = self._build_payload(
+                    request, hit.activity, hit.windows, cached=True,
+                    backend_used=hit.backend_used,
+                    promised=hit.promised_error,
+                    achieved=hit.achieved_error)
                 sub.state = "done"
                 sub.cached = True
                 sub.payload = payload
@@ -514,10 +520,12 @@ class PowerService:
                 task = by_digest.get(outcome.job.tag)
                 if task is None:
                     return
-                payload = self._build_payload(task.request,
-                                              outcome.activity,
-                                              outcome.windows,
-                                              cached=outcome.cached)
+                payload = self._build_payload(
+                    task.request, outcome.activity, outcome.windows,
+                    cached=outcome.cached,
+                    backend_used=outcome.backend_used,
+                    promised=outcome.promised_error,
+                    achieved=outcome.achieved_error)
                 loop.call_soon_threadsafe(self._finish_task, task,
                                           payload, None,
                                           outcome.cached, False)
@@ -572,12 +580,16 @@ class PowerService:
                 for window in hit.windows or []:
                     loop.call_soon_threadsafe(self._push_window, task,
                                               window)
-                payload = self._build_payload(request, hit.activity,
-                                              hit.windows, cached=True)
+                payload = self._build_payload(
+                    request, hit.activity, hit.windows, cached=True,
+                    backend_used=hit.backend_used,
+                    promised=hit.promised_error,
+                    achieved=hit.achieved_error)
                 return payload, False
+        resolved, promised = resolve_backend(request)
         sink = _ForwardingSink(loop, self._push_window, task)
         tracer = ActivityTracer(request.trace_interval, sink=sink)
-        output = get_backend(request.backend).simulate(
+        output = get_backend(resolved).simulate(
             request.config, request.resolve_launch(),
             max_cycles=request.max_cycles, tracer=tracer,
             **(request.backend_options or {}))
@@ -585,7 +597,9 @@ class PowerService:
             self.cache.put(job, output.activity, output.cycles,
                            key=task.digest, windows=output.windows)
         payload = self._build_payload(request, output.activity,
-                                      output.windows, cached=False)
+                                      output.windows, cached=False,
+                                      backend_used=resolved,
+                                      promised=promised)
         return payload, True
 
     # -- completion -----------------------------------------------------------
@@ -639,19 +653,43 @@ class PowerService:
     # -- result payloads ------------------------------------------------------
 
     def _build_payload(self, request: SimRequest, activity, windows,
-                       cached: bool) -> Dict[str, Any]:
-        """Power-evaluate one finished simulation into a response body."""
+                       cached: bool, backend_used: str = "",
+                       promised: Optional[float] = None,
+                       achieved: Optional[float] = None
+                       ) -> Dict[str, Any]:
+        """Power-evaluate one finished simulation into a response body.
+
+        ``backend_used``/``promised``/``achieved`` carry the fidelity
+        ladder's provenance off the :class:`~repro.runner.JobResult`
+        (the resolution of ``"auto"``, the error the chosen tier
+        promised, and -- once an exact run of the same digest exists --
+        the error it actually achieved).
+        """
+        backend_used = backend_used or request.backend
         result = GPUSimPow(request.config).run(
             request.resolve_launch(), activity=activity,
             windows=list(windows) if windows else None,
             trace_interval=request.trace_interval,
-            backend=request.backend)
-        return {
+            backend=backend_used)
+        from ..backends import all_backends
+        info = getattr(all_backends().get(backend_used), "info", None)
+        payload = {
             "kernel": result.kernel_name,
             "gpu": request.config.name,
             "digest": request.digest(),
-            "backend": request.backend,
+            "backend": backend_used,
             "cached": cached,
             "summary": result.summary(),
             "simulation": result.to_dict(),
         }
+        if info is not None:
+            payload["tier"] = info.tier
+        if request.backend == "auto":
+            payload["error_budget"] = (0.0 if request.error_budget
+                                       is None
+                                       else request.error_budget)
+        if promised is not None:
+            payload["promised_error"] = float(promised)
+        if achieved is not None:
+            payload["achieved_error"] = float(achieved)
+        return payload

@@ -43,11 +43,12 @@ class ServiceDaemon:
         self.service = service
         self.host = host
         self.port = port
+        self.replayed = 0
         self._server: Optional[asyncio.base_events.Server] = None
 
     async def start(self) -> None:
         """Replay the journal and start accepting connections."""
-        self.service.start()
+        self.replayed = self.service.start()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]

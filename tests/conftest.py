@@ -18,6 +18,9 @@ from repro.workloads import all_kernel_launches
 def _isolated_result_cache(tmp_path, monkeypatch):
     """Keep runner cache writes (e.g. from CLI tests) out of ~/.cache."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "gpusimpow_cache"))
+    # Same hermeticity for surrogate calibration tables: tests see only
+    # their own tmp store plus the tables packaged with the code.
+    monkeypatch.setenv("REPRO_CALIB_DIR", str(tmp_path / "gpusimpow_calib"))
 
 
 @pytest.fixture(scope="session")

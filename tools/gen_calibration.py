@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate the packaged surrogate calibration tables.
+
+Calibrates the ``surrogate`` backend against the exact ``cycle``
+backend over all Table I workloads for each hardware preset, and
+writes the resulting tables into ``src/repro/backends/calibdata/`` --
+the content-addressed fallback :class:`repro.backends.CalibrationStore`
+serves when no user-local table exists, which is what makes
+``--backend auto`` work out of the box.
+
+Run from the repository root after any change that alters simulation
+results (a :data:`repro.SIM_VERSION` bump) or the surrogate model
+(a :data:`~repro.backends.surrogate.SURROGATE_VERSION` bump)::
+
+    PYTHONPATH=src python tools/gen_calibration.py [--jobs N]
+
+Cycle results come through the pooled, cached runner, so regeneration
+against a warm cache takes seconds.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends.surrogate import calibrate_surrogate  # noqa: E402
+from repro.sim.config import PRESETS  # noqa: E402
+
+CALIBDATA = (Path(__file__).resolve().parent.parent
+             / "src" / "repro" / "backends" / "calibdata")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for cycle simulations")
+    parser.add_argument("--preset", action="append", default=None,
+                        help="preset name (default: all presets)")
+    args = parser.parse_args()
+
+    names = args.preset or sorted(PRESETS)
+    for name in names:
+        config = PRESETS[name]()
+        print(f"calibrating surrogate for {config.name} "
+              f"(all Table I workloads)...")
+        table = calibrate_surrogate(config, jobs=args.jobs)
+        path = CALIBDATA / table.config_key[:2] \
+            / f"{table.config_key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(table.to_dict(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"  {len(table.entries)} kernels, "
+              f"LOO mean {table.loo_mean:.1%} / max {table.loo_max:.1%}"
+              f" -> {path.relative_to(CALIBDATA.parent)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
