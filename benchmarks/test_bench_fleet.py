@@ -1,0 +1,72 @@
+"""Bench: fleet scenario throughput (requests simulated per second).
+
+Runs the seeded diurnal scenario end-to-end -- load generation,
+ladder-resolved kernel costs, dispatch, and the energy ledger -- and
+reports how many fleet requests per wall-clock second the simulator
+sustains.  The ladder is what makes the number interesting: at the
+default 10% error budget every (gpu, kernel) pair resolves below the
+cycle tier, so a thousand-request day costs seconds, not hours.
+
+Numbers land in ``BENCH_fleet.json`` (override with
+``$BENCH_FLEET_JSON``) so CI can archive them per machine.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import pedantic_once
+from repro.fleet import FleetScenario, run_scenario
+
+#: The benched scenario: a mixed 4-GPU fleet over a simulated day.
+SCENARIO = dict(name="bench-fleet",
+                gpus=["GTX580", "GTX580", "GT240", "GT240"],
+                duration_s=86_400.0, n_requests=500, seed=0,
+                error_budget=0.10)
+
+
+def _write_report(stats):
+    path = os.environ.get("BENCH_FLEET_JSON", "BENCH_fleet.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+    print(f"\nfleet bench report written to {path}")
+
+
+def test_bench_fleet(benchmark):
+    scenario = FleetScenario.from_dict(SCENARIO)
+
+    # Warm the cost cache once so the bench times the steady state the
+    # CI job and CLI users actually see on a second run.
+    warm = run_scenario(scenario, cache="auto")
+
+    def measure():
+        start = time.perf_counter()
+        report = run_scenario(scenario, cache="auto")
+        elapsed = time.perf_counter() - start
+        ledger = report.ledger
+        return {
+            "scenario": dict(SCENARIO),
+            "requests": ledger.requests,
+            "gpus": len(ledger.gpus),
+            "elapsed_s": elapsed,
+            "requests_per_s": ledger.requests / elapsed,
+            "kwh": report.kwh,
+            "sub_cycle_fraction": report.sub_cycle_fraction,
+            "backend_requests": report.backend_requests,
+        }
+
+    stats = pedantic_once(benchmark, measure)
+    _write_report(stats)
+    print(f"fleet {stats['requests']} requests on {stats['gpus']} GPUs "
+          f"in {stats['elapsed_s']:.2f}s  "
+          f"({stats['requests_per_s']:.0f} req/s, "
+          f"{stats['kwh']:.2f} kWh)")
+
+    # Determinism: the warm and benched runs are the same arithmetic.
+    assert stats["kwh"] == warm.kwh
+    # The ladder's promise at a 10% budget: the fleet never waits on
+    # the cycle tier for the bulk of its traffic.
+    assert stats["sub_cycle_fraction"] >= 0.90
+    # Sanity floor: a ladder-resolved fleet must be far faster than
+    # one cycle-simulation per request.
+    assert stats["requests_per_s"] >= 10

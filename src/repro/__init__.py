@@ -25,6 +25,8 @@ Package map:
 * :mod:`repro.telemetry` -- windowed activity sampling + power traces
 * :mod:`repro.backends` -- pluggable simulation backends (cycle,
   functional_ref, analytical, parallel_cycle)
+* :mod:`repro.fleet` -- fleet-scale scenarios: diurnal load, virtual
+  GPUs, per-phase energy ledgers, kWh / $ / CO2 bills
 * :mod:`repro.experiments` -- per-table/figure reproduction drivers
 """
 
@@ -47,6 +49,8 @@ from .backends import (AUTO_BACKEND, BackendInfo, SimulationBackend,
                        list_backends, register_backend, resolve_backend)
 from .core.gpusimpow import ArchitectureReport, GPUSimPow, SimulationResult
 from .core.validation import SuiteValidation, validate_suite
+from .fleet import (FleetLedger, FleetReport, FleetScenario, TenantProfile,
+                    run_scenario)
 from .power.chip import Chip
 from .power.result import PowerNode, PowerReport
 from .request import SimRequest
@@ -57,7 +61,7 @@ from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AnalysisResult", "Diagnostic", "LaunchShape", "Severity",
@@ -72,4 +76,6 @@ __all__ = [
     "escalation_path", "resolve_backend",
     "ActivityTracer", "ActivityWindow", "TraceSink", "NullSink",
     "CollectingSink", "PowerSample", "PowerTrace", "sum_windows",
+    "FleetLedger", "FleetReport", "FleetScenario", "TenantProfile",
+    "run_scenario",
 ]

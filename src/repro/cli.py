@@ -17,6 +17,7 @@ serves both from a shell:
     gpusimpow cache clear --yes
     gpusimpow serve --port 8642 --journal service.jsonl
     gpusimpow submit vectorAdd --gpu GT240 --wait --json
+    gpusimpow fleet --gpus 2xGTX580,2xGT240 --requests 1000
 
 ``run`` and ``validate`` execute their simulations through
 :mod:`repro.runner`: ``--jobs N`` fans the per-kernel simulations out
@@ -31,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from math import isfinite
 from typing import Optional
 
 from .core.gpusimpow import GPUSimPow
@@ -112,9 +114,21 @@ def _check_backend(name: str) -> int:
 
 
 def _check_error_budget(args) -> int:
-    """0 when --error-budget is absent or rides --backend auto."""
-    if getattr(args, "error_budget", None) is not None \
-            and args.backend != "auto":
+    """0 when --error-budget is absent, or is a valid fraction riding
+    a backend that honors it (``auto``).
+
+    Rejects non-finite (NaN/inf) and out-of-range values here, with a
+    clean message and exit code 2, instead of letting them reach
+    ``SimRequest``/``SimJob`` construction as a traceback.
+    """
+    budget = getattr(args, "error_budget", None)
+    if budget is None:
+        return 0
+    if not isfinite(budget) or not 0.0 <= budget <= 1.0:
+        print(f"--error-budget must be a finite fraction in [0, 1], "
+              f"got {budget!r}", file=sys.stderr)
+        return 2
+    if getattr(args, "backend", "auto") != "auto":
         print("--error-budget requires --backend auto", file=sys.stderr)
         return 2
     return 0
@@ -500,6 +514,11 @@ def _cmd_serve(args) -> int:
     async def _serve() -> None:
         daemon = ServiceDaemon(service, host=args.host, port=args.port)
         await daemon.start()
+        # SIGTERM/SIGINT end serve_forever() cleanly, so the finally
+        # below still drains: close SSE streams, seal the journal
+        # (final fsync).  Where handlers are unsupported the
+        # KeyboardInterrupt path below still applies.
+        daemon.install_signal_handlers()
         if args.journal:
             counts = ""
             if service.cache is not None:
@@ -520,8 +539,50 @@ def _cmd_serve(args) -> int:
 
     try:
         asyncio.run(_serve())
+        print("service stopped", file=sys.stderr)
     except KeyboardInterrupt:
         print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Run a fleet-scale power scenario and print its bill."""
+    from .fleet import FleetScenario, parse_gpu_spec, run_scenario
+    if _check_error_budget(args):
+        return 2
+    try:
+        if args.scenario:
+            with open(args.scenario, "r", encoding="utf-8") as handle:
+                scenario = FleetScenario.from_json(handle.read())
+        else:
+            budget = (None if args.exact
+                      else (0.10 if args.error_budget is None
+                            else args.error_budget))
+            scenario = FleetScenario(
+                name=args.name,
+                gpus=parse_gpu_spec(args.gpus),
+                duration_s=args.duration,
+                n_requests=args.requests,
+                seed=args.seed,
+                error_budget=budget,
+                price_usd_per_kwh=args.price,
+                co2_kg_per_kwh=args.co2,
+                pue=args.pue,
+            )
+    except (ValueError, KeyError) as exc:
+        print(f"bad fleet scenario: {exc}", file=sys.stderr)
+        return 2
+    jobs, cache, progress, timeout = _runner_options(args)
+    report = run_scenario(scenario, n_jobs=jobs, cache=cache,
+                          progress=progress, timeout_s=timeout)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"[wrote {args.out}]", file=sys.stderr)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.format())
     return 0
 
 
@@ -737,6 +798,55 @@ def build_parser() -> argparse.ArgumentParser:
                               "(verifier-failing kernels then reach "
                               "the simulator)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser("fleet",
+                             help="simulate a fleet-scale power "
+                                  "scenario (kWh / $ / CO2)")
+    p_fleet.add_argument("--scenario", default=None, metavar="FILE",
+                         help="JSON FleetScenario file (overrides the "
+                              "flags below)")
+    p_fleet.add_argument("--name", default="fleet",
+                         help="scenario label (default: fleet)")
+    p_fleet.add_argument("--gpus", default="2xGTX580,2xGT240",
+                         metavar="SPEC",
+                         help="virtual fleet, e.g. 2xGTX580,2xGT240 "
+                              "(default: 2xGTX580,2xGT240)")
+    p_fleet.add_argument("--requests", type=int, default=1000,
+                         metavar="N",
+                         help="trace length in requests "
+                              "(default: 1000)")
+    p_fleet.add_argument("--duration", type=float, default=86400.0,
+                         metavar="SECONDS",
+                         help="scenario horizon (default: 86400, one "
+                              "diurnal cycle)")
+    p_fleet.add_argument("--seed", type=int, default=0,
+                         help="load-generator seed (default: 0)")
+    p_fleet.add_argument("--error-budget", type=float, default=None,
+                         metavar="FRACTION", dest="error_budget",
+                         help="|chip-power| error budget steering "
+                              "backend=auto cost resolution "
+                              "(default: 0.10)")
+    p_fleet.add_argument("--exact", action="store_true",
+                         help="resolve every cost on the exact cycle "
+                              "tier (ignores --error-budget)")
+    p_fleet.add_argument("--price", type=float, default=0.12,
+                         metavar="USD",
+                         help="electricity price in $/kWh "
+                              "(default: 0.12)")
+    p_fleet.add_argument("--co2", type=float, default=0.40,
+                         metavar="KG",
+                         help="grid carbon intensity in kg CO2/kWh "
+                              "(default: 0.40)")
+    p_fleet.add_argument("--pue", type=float, default=1.0,
+                         help="facility power-usage effectiveness "
+                              "multiplier (default: 1.0)")
+    p_fleet.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the full report JSON there")
+    p_fleet.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the report as JSON instead of "
+                              "the table")
+    _add_runner_args(p_fleet)
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_submit = sub.add_parser("submit",
                               help="submit a kernel to a running "

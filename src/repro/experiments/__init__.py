@@ -17,9 +17,9 @@ API, so every artifact can still be regenerated with e.g.::
 from .base import (Experiment, all_experiments, experiment_names,
                    get_experiment, register)
 from . import (exp_ablations, exp_analysis, exp_backends, exp_divergence,
-               exp_fig4, exp_fig6, exp_microbench, exp_powertrace,
-               exp_statmodel, exp_table1, exp_table2, exp_table3,
-               exp_table4, exp_table5)
+               exp_fig4, exp_fig6, exp_fleet, exp_microbench,
+               exp_powertrace, exp_statmodel, exp_table1, exp_table2,
+               exp_table3, exp_table4, exp_table5)
 
 #: Name -> driver module (the registry holds name -> Experiment).
 ALL_EXPERIMENTS = {
@@ -37,11 +37,12 @@ ALL_EXPERIMENTS = {
     "powertrace": exp_powertrace,
     "backends": exp_backends,
     "analysis": exp_analysis,
+    "fleet": exp_fleet,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "Experiment", "all_experiments",
            "experiment_names", "get_experiment", "register"] + \
     [f"exp_{k}" for k in
      ("ablations", "analysis", "backends", "divergence", "fig4", "fig6",
-      "microbench", "powertrace", "statmodel", "table1", "table2",
-      "table3", "table4", "table5")]
+      "fleet", "microbench", "powertrace", "statmodel", "table1",
+      "table2", "table3", "table4", "table5")]

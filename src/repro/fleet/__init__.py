@@ -1,0 +1,49 @@
+"""Fleet-scale power scenarios: from per-kernel results to power bills.
+
+The paper asks how *a single chip* causes massive power bills; this
+package scales the answer from one chip to a datacenter rack.  A
+seeded, deterministic load generator turns tenant profiles with
+diurnal QPS curves into a request trace over the ported workloads
+(:mod:`repro.fleet.load`); every distinct ``(GPU preset, kernel)``
+pair is resolved once through the accuracy ladder with the scenario's
+error budget (:mod:`repro.fleet.costs`); a greedy earliest-start
+dispatcher places the trace onto N virtual GPUs with queueing and
+utilization tracking (:mod:`repro.fleet.dispatch`); per-GPU four-phase
+energy ledgers (idle / static / compute / memory) roll up fleet-wide
+with bit-exact conservation (:mod:`repro.fleet.ledger`); and the
+result is an aggregate bill -- kWh, dollars, CO2 -- with full ladder
+provenance (:mod:`repro.fleet.report`).
+
+Quickstart::
+
+    from repro.fleet import FleetScenario, run_scenario
+
+    scenario = FleetScenario(gpus=["GTX580", "GTX580", "GT240",
+                                   "GT240"],
+                             n_requests=1000, error_budget=0.10)
+    report = run_scenario(scenario)
+    print(report.format())       # per-GPU ledgers + the bill
+    print(report.kwh, report.cost_usd, report.co2_kg)
+
+Simulation effort is bounded by distinct ``(preset, kernel)`` pairs,
+not trace length: a million-request scenario over the stock tenants
+costs a handful of tier-0 surrogate queries (plus cache hits), so the
+whole pipeline answers in seconds.
+"""
+
+from .costs import KernelCost, idle_card_w, resolve_costs
+from .dispatch import DispatchResult, Placement, VirtualGPU, dispatch
+from .ledger import FleetLedger, GPULedger, build_ledgers
+from .load import (DiurnalCurve, FleetRequest, TenantProfile,
+                   generate_requests)
+from .report import FleetReport
+from .scenario import (FleetScenario, default_tenants, parse_gpu_spec,
+                       run_scenario)
+
+__all__ = [
+    "DiurnalCurve", "DispatchResult", "FleetLedger", "FleetReport",
+    "FleetRequest", "FleetScenario", "GPULedger", "KernelCost",
+    "Placement", "TenantProfile", "VirtualGPU", "build_ledgers",
+    "default_tenants", "dispatch", "generate_requests", "idle_card_w",
+    "parse_gpu_spec", "resolve_costs", "run_scenario",
+]

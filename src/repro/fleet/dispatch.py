@@ -1,0 +1,125 @@
+"""Request placement onto virtual GPUs.
+
+The dispatcher models the fleet as N single-request-at-a-time virtual
+GPUs, each an instance of a preset (a mixed GTX580/GT240 fleet is just
+a list with both names).  Requests are placed in arrival order under a
+greedy earliest-start policy: the request goes to the GPU that can
+*begin* it soonest (``max(arrival, gpu free time)``), with ties broken
+by earliest completion -- so a faster preset wins a tie -- and then by
+lowest ``gpu_id``.  The policy is deterministic by construction: no
+clocks, no randomness, just the trace and the resolved costs.
+
+Queueing falls out of the same arithmetic: when every GPU is busy at a
+request's arrival, its start time is pushed to the earliest free slot
+and the difference is recorded as ``wait_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .costs import KernelCost
+from .load import FleetRequest
+
+
+@dataclass
+class VirtualGPU:
+    """One slot of the fleet: an instance of a GPU preset.
+
+    Attributes:
+        gpu_id: Position in the fleet (stable sort key for every
+            deterministic rollup).
+        gpu: Preset name (``"GT240"`` / ``"GTX580"``).
+        free_at_s: Time the GPU finishes its current backlog.
+        busy_s: Accumulated service seconds (utilization numerator).
+        requests: Number of requests served.
+    """
+
+    gpu_id: int
+    gpu: str
+    free_at_s: float = 0.0
+    busy_s: float = 0.0
+    requests: int = 0
+
+
+@dataclass
+class Placement:
+    """One request's dispatch outcome.
+
+    Attributes:
+        request: The placed trace request.
+        gpu_id: The serving GPU's fleet position.
+        cost: Resolved per-iteration cost on the serving GPU's preset.
+        start_s: Service start (``>= request.arrival_s``).
+        end_s: Service completion.
+    """
+
+    request: FleetRequest
+    gpu_id: int
+    cost: KernelCost
+    start_s: float
+    end_s: float
+
+    @property
+    def service_s(self) -> float:
+        """Busy seconds: one iteration's runtime times the batch."""
+        return self.end_s - self.start_s
+
+    @property
+    def wait_s(self) -> float:
+        """Queue delay before service began."""
+        return self.start_s - self.request.arrival_s
+
+
+@dataclass
+class DispatchResult:
+    """The fleet's full schedule for one trace."""
+
+    gpus: List[VirtualGPU]
+    placements: List[Placement] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the last request (0 for an empty trace)."""
+        return max((p.end_s for p in self.placements), default=0.0)
+
+
+def dispatch(requests: Sequence[FleetRequest],
+             gpu_presets: Sequence[str],
+             costs: Dict[Tuple[str, str], KernelCost]) -> DispatchResult:
+    """Place a trace onto a fleet; returns the deterministic schedule.
+
+    Args:
+        requests: Trace in arrival order (as produced by
+            :func:`repro.fleet.load.generate_requests`).
+        gpu_presets: One preset name per virtual GPU, fleet order.
+        costs: Resolved ``(preset, kernel)`` costs covering every
+            preset in the fleet crossed with every kernel in the trace.
+    """
+    if not gpu_presets:
+        raise ValueError("fleet needs at least one GPU")
+    gpus = [VirtualGPU(gpu_id=i, gpu=name)
+            for i, name in enumerate(gpu_presets)]
+    result = DispatchResult(gpus=gpus)
+    for req in requests:
+        best = None
+        best_key = None
+        for gpu in gpus:
+            cost = costs.get((gpu.gpu, req.kernel))
+            if cost is None:
+                raise KeyError(f"no resolved cost for kernel "
+                               f"{req.kernel!r} on preset {gpu.gpu!r}")
+            start = max(req.arrival_s, gpu.free_at_s)
+            end = start + cost.runtime_s * req.batch
+            key = (start, end, gpu.gpu_id)
+            if best_key is None or key < best_key:
+                best, best_key = (gpu, cost, start, end), key
+        gpu, cost, start, end = best
+        gpu.free_at_s = end
+        gpu.busy_s += end - start
+        gpu.requests += 1
+        result.placements.append(Placement(
+            request=req, gpu_id=gpu.gpu_id, cost=cost,
+            start_s=start, end_s=end))
+    return result

@@ -1,0 +1,225 @@
+"""Trace-driven load generation: diurnal request mixes over the workloads.
+
+A fleet scenario starts from *traffic*, not kernels: tenants submit
+requests whose arrival rate follows a daily cycle (interactive services
+peak in the afternoon, batch pipelines at night).  This module turns a
+list of :class:`TenantProfile`\\ s into a deterministic, seeded stream
+of :class:`FleetRequest`\\ s -- the input the dispatcher places onto
+virtual GPUs.
+
+Determinism is the load generator's contract: the same
+``(tenants, duration, n_requests, seed)`` produce the identical request
+stream on every machine and every run (``random.Random`` with a fixed
+seed, inverse-CDF sampling over a fixed-resolution rate grid), so a
+scenario's kWh total is a reproducible number, not a Monte Carlo cloud.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Sequence
+
+from ..serialize import Serializable
+
+#: Resolution of the cumulative-rate grid used for inverse-CDF arrival
+#: sampling (points per scenario duration).  Fixed so the sampled
+#: arrivals are part of the deterministic contract.
+RATE_GRID_POINTS = 1024
+
+
+@dataclass
+class DiurnalCurve(Serializable):
+    """One tenant's daily request-rate cycle.
+
+    The instantaneous rate at wall-clock hour ``h`` is::
+
+        rate(h) = base_qps + (peak_qps - base_qps) * shape(h)
+        shape(h) = (1 + cos(2*pi*(h - peak_hour)/24)) / 2
+
+    -- a smooth cosine bump peaking at ``peak_hour`` and bottoming out
+    12 hours away.  ``base_qps == peak_qps`` models flat traffic.
+    """
+
+    base_qps: float = 0.5
+    peak_qps: float = 2.0
+    peak_hour: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.base_qps < 0 or self.peak_qps < 0:
+            raise ValueError("QPS rates must be non-negative")
+        if self.base_qps == 0 and self.peak_qps == 0:
+            raise ValueError("curve must have a positive rate somewhere")
+
+    def rate_at(self, t_s: float) -> float:
+        """Requests per second at ``t_s`` seconds into the scenario."""
+        hour = (t_s / 3600.0) % 24.0
+        shape = 0.5 * (1.0 + math.cos(
+            2.0 * math.pi * (hour - self.peak_hour) / 24.0))
+        return self.base_qps + (self.peak_qps - self.base_qps) * shape
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"base_qps": self.base_qps, "peak_qps": self.peak_qps,
+                "peak_hour": self.peak_hour}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DiurnalCurve":
+        return cls(base_qps=float(data.get("base_qps", 0.5)),
+                   peak_qps=float(data.get("peak_qps", 2.0)),
+                   peak_hour=float(data.get("peak_hour", 14.0)))
+
+
+@dataclass
+class TenantProfile(Serializable):
+    """One traffic source: a rate curve plus a workload mix.
+
+    Attributes:
+        name: Tenant identifier (also the tie-break key when merging
+            request streams, so keep names unique per scenario).
+        curve: The tenant's diurnal request-rate cycle.
+        mix: Workload-label -> weight; each request draws its kernel
+            from this distribution.  Labels must name entries of
+            :func:`repro.workloads.all_kernel_launches`.
+        batch: Kernel iterations per request -- one fleet request
+            models ``batch`` back-to-back executions of the kernel
+            (service time and energy scale linearly), which is how a
+            microsecond-scale kernel becomes a second-scale serving
+            request.
+    """
+
+    name: str
+    curve: DiurnalCurve = field(default_factory=DiurnalCurve)
+    mix: Dict[str, float] = field(default_factory=dict)
+    batch: int = 1000
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("TenantProfile needs a name")
+        if not self.mix:
+            raise ValueError(f"tenant {self.name!r} needs a workload mix")
+        if any(w < 0 for w in self.mix.values()) \
+                or not any(w > 0 for w in self.mix.values()):
+            raise ValueError(f"tenant {self.name!r} mix weights must be "
+                             f"non-negative with a positive total")
+        if self.batch < 1:
+            raise ValueError(f"tenant {self.name!r} batch must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "curve": self.curve.to_dict(),
+                "mix": dict(self.mix), "batch": self.batch}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TenantProfile":
+        return cls(name=str(data["name"]),
+                   curve=DiurnalCurve.from_dict(data.get("curve", {})),
+                   mix={str(k): float(v)
+                        for k, v in data.get("mix", {}).items()},
+                   batch=int(data.get("batch", 1000)))
+
+
+@dataclass
+class FleetRequest:
+    """One request of the generated trace.
+
+    Attributes:
+        index: Position in the merged, time-sorted stream.
+        arrival_s: Arrival time in seconds from scenario start.
+        tenant: Originating tenant's name.
+        kernel: Workload label to execute.
+        batch: Kernel iterations this request represents.
+    """
+
+    index: int
+    arrival_s: float
+    tenant: str
+    kernel: str
+    batch: int
+
+
+def _cumulative_rate(curve: DiurnalCurve,
+                     duration_s: float) -> tuple:
+    """``(grid_t, cum)``: trapezoid cumulative of the rate over a grid."""
+    n = RATE_GRID_POINTS
+    grid_t = [duration_s * i / n for i in range(n + 1)]
+    rates = [curve.rate_at(t) for t in grid_t]
+    cum = [0.0]
+    for i in range(n):
+        step = (grid_t[i + 1] - grid_t[i]) * 0.5 * (rates[i]
+                                                    + rates[i + 1])
+        cum.append(cum[-1] + step)
+    return grid_t, cum
+
+
+def _invert(grid_t: Sequence[float], cum: Sequence[float],
+            target: float) -> float:
+    """Arrival time whose cumulative rate equals ``target`` (linear)."""
+    i = bisect_right(cum, target) - 1
+    i = min(max(i, 0), len(cum) - 2)
+    span = cum[i + 1] - cum[i]
+    frac = 0.0 if span <= 0 else (target - cum[i]) / span
+    return grid_t[i] + frac * (grid_t[i + 1] - grid_t[i])
+
+
+def _allocate(weights: Sequence[float], total: int) -> List[int]:
+    """Largest-remainder split of ``total`` proportional to ``weights``."""
+    wsum = sum(weights)
+    if wsum <= 0:
+        raise ValueError("request allocation needs a positive total rate")
+    exact = [total * w / wsum for w in weights]
+    counts = [int(e) for e in exact]
+    short = total - sum(counts)
+    order = sorted(range(len(weights)),
+                   key=lambda i: (exact[i] - counts[i], -i),
+                   reverse=True)
+    for i in order[:short]:
+        counts[i] += 1
+    return counts
+
+
+def generate_requests(tenants: Sequence[TenantProfile],
+                      duration_s: float, n_requests: int,
+                      seed: int = 0) -> List[FleetRequest]:
+    """The deterministic request trace of one scenario.
+
+    ``n_requests`` arrivals are split across tenants proportionally to
+    each tenant's integrated rate over ``duration_s``, then placed in
+    time by inverse-CDF sampling of the tenant's cumulative rate curve
+    (so arrivals cluster where the diurnal curve peaks).  Kernels draw
+    from the tenant's mix.  Everything runs off one
+    ``random.Random(seed)``, visited in tenant order -- the stream is a
+    pure function of its arguments.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests!r}")
+    if not tenants:
+        raise ValueError("scenario needs at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+
+    rng = Random(seed)
+    grids = [_cumulative_rate(t.curve, duration_s) for t in tenants]
+    integrals = [cum[-1] for _, cum in grids]
+    counts = _allocate(integrals, n_requests)
+
+    requests: List[FleetRequest] = []
+    for tenant, (grid_t, cum), count in zip(tenants, grids, counts):
+        if count == 0:
+            continue
+        total = cum[-1]
+        arrivals = sorted(rng.random() * total for _ in range(count))
+        kernels = sorted(tenant.mix)
+        weights = [tenant.mix[k] for k in kernels]
+        picks = rng.choices(kernels, weights=weights, k=count)
+        for target, kernel in zip(arrivals, picks):
+            requests.append(FleetRequest(
+                index=0, arrival_s=_invert(grid_t, cum, target),
+                tenant=tenant.name, kernel=kernel, batch=tenant.batch))
+    requests.sort(key=lambda r: (r.arrival_s, r.tenant, r.kernel))
+    for i, req in enumerate(requests):
+        req.index = i
+    return requests

@@ -27,6 +27,7 @@ so a request that crossed HTTP has the same digest as the original.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import isfinite
 from typing import Any, Dict, Optional
 
 from .isa.launch import KernelLaunch
@@ -95,10 +96,11 @@ class SimRequest(Serializable):
                              f"got {self.trace_interval!r}")
         if not self.backend:
             raise ValueError("SimRequest.backend must be a backend name")
-        if self.error_budget is not None \
-                and not 0.0 <= self.error_budget <= 1.0:
-            raise ValueError(f"error_budget must be a fraction in "
-                             f"[0, 1], got {self.error_budget!r}")
+        if self.error_budget is not None and (
+                not isfinite(self.error_budget)
+                or not 0.0 <= self.error_budget <= 1.0):
+            raise ValueError(f"error_budget must be a finite fraction "
+                             f"in [0, 1], got {self.error_budget!r}")
         if self.timeout_s is not None and not self.timeout_s > 0:
             raise ValueError(f"timeout_s must be positive, "
                              f"got {self.timeout_s!r}")

@@ -13,6 +13,7 @@ crosses the pipe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import isfinite
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..isa.launch import KernelLaunch
@@ -141,10 +142,11 @@ class SimJob:
                 f"trace_interval must be positive, got {self.trace_interval!r}")
         if not self.backend:
             raise ValueError("SimJob.backend must be a backend name")
-        if self.error_budget is not None \
-                and not 0.0 <= self.error_budget <= 1.0:
-            raise ValueError(f"error_budget must be a fraction in "
-                             f"[0, 1], got {self.error_budget!r}")
+        if self.error_budget is not None and (
+                not isfinite(self.error_budget)
+                or not 0.0 <= self.error_budget <= 1.0):
+            raise ValueError(f"error_budget must be a finite fraction "
+                             f"in [0, 1], got {self.error_budget!r}")
         if self.timeout_s is not None and not self.timeout_s > 0:
             raise ValueError(
                 f"timeout_s must be positive, got {self.timeout_s!r}")

@@ -180,7 +180,11 @@ class PowerService:
         self.timeout_s = timeout_s
         self.lint = lint
         self.stats = ServiceStats()
-        self.started_s = time.time()
+        # Wall clock for display; monotonic for uptime arithmetic (an
+        # NTP step or suspend would make wall-clock uptime jump or go
+        # negative).
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._journal_path = journal_path
         self._journal: Optional[Journal] = None
         self._submissions: Dict[str, Submission] = {}
@@ -221,7 +225,16 @@ class PowerService:
         return replayed
 
     def close(self) -> None:
+        """Stop the service: no new dispatches, end every open event
+        stream (the ``None`` sentinel closes subscriber loops), and
+        seal the journal with a final flush + fsync."""
+        if self._closed:
+            return
         self._closed = True
+        for task in self._inflight.values():
+            for queue in task.subscribers:
+                queue.put_nowait(None)
+            task.subscribers.clear()
         if self._journal is not None:
             self._journal.close()
 
@@ -407,7 +420,8 @@ class PowerService:
         return {
             "ok": True,
             "paused": self._paused,
-            "uptime_s": time.time() - self.started_s,
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "started_at": self.started_at,
             "queued_tasks": queued,
             "running_tasks": self._running,
             "inflight_tasks": len(self._inflight),

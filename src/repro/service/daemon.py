@@ -25,6 +25,7 @@ mode ``gpusimpow submit --wait`` and the CI cache-hit check use.
 from __future__ import annotations
 
 import asyncio
+import signal
 from typing import Optional
 
 from .core import PowerService
@@ -33,6 +34,10 @@ from .protocol import (HTTPRequest, ProtocolError, read_request,
 
 #: How long a ``"wait": true`` submission may block, by default.
 DEFAULT_WAIT_TIMEOUT_S = 600.0
+
+#: Signals a daemon shuts down gracefully on (when the platform's
+#: event loop supports handlers for them).
+SHUTDOWN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
 
 
 class ServiceDaemon:
@@ -45,24 +50,73 @@ class ServiceDaemon:
         self.port = port
         self.replayed = 0
         self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_requested: Optional[asyncio.Event] = None
 
     async def start(self) -> None:
         """Replay the journal and start accepting connections."""
         self.replayed = self.service.start()
+        self._stop_requested = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        """Stop accepting, then close the service (which ends open
+        event streams and seals the journal with a final fsync)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         self.service.close()
 
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to return (signal-handler safe)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    def install_signal_handlers(self) -> bool:
+        """Route SIGTERM/SIGINT to a graceful :meth:`request_stop`.
+
+        Returns False on platforms/loops without
+        ``add_signal_handler`` (e.g. Windows, non-main threads) --
+        callers then fall back to ``KeyboardInterrupt`` handling.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+            for sig in SHUTDOWN_SIGNALS:
+                loop.add_signal_handler(sig, self.request_stop)
+        except (NotImplementedError, RuntimeError):
+            return False
+        return True
+
+    def remove_signal_handlers(self) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        for sig in SHUTDOWN_SIGNALS:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
     async def serve_forever(self) -> None:
+        """Serve until cancelled or :meth:`request_stop` is called."""
         assert self._server is not None, "call start() first"
+        assert self._stop_requested is not None
+        stop = asyncio.ensure_future(self._stop_requested.wait())
         async with self._server:
-            await self._server.serve_forever()
+            serve = asyncio.ensure_future(self._server.serve_forever())
+            try:
+                await asyncio.wait({stop, serve},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                for task in (stop, serve):
+                    if not task.done():
+                        task.cancel()
+                        try:
+                            await task
+                        except asyncio.CancelledError:
+                            pass
 
     # -- connection handling --------------------------------------------------
 
@@ -190,9 +244,10 @@ class ServiceDaemon:
 async def run_daemon(service: PowerService, host: str = "127.0.0.1",
                      port: int = 0,
                      ready: Optional[asyncio.Event] = None) -> None:
-    """Start a daemon and serve until cancelled (the CLI entry)."""
+    """Start a daemon and serve until cancelled or signalled."""
     daemon = ServiceDaemon(service, host=host, port=port)
     await daemon.start()
+    handled = daemon.install_signal_handlers()
     if ready is not None:
         ready.set()
     try:
@@ -200,4 +255,6 @@ async def run_daemon(service: PowerService, host: str = "127.0.0.1",
     except asyncio.CancelledError:
         pass
     finally:
+        if handled:
+            daemon.remove_signal_handlers()
         await daemon.stop()

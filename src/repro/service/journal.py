@@ -34,8 +34,16 @@ class Journal:
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        """Seal the log: final flush + fsync, then close the handle.
+
+        Everything recorded before ``close()`` returns is durable on
+        disk -- the graceful-shutdown guarantee SIGTERM relies on.
+        """
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
 
     # -- writing --------------------------------------------------------------
 
@@ -50,6 +58,11 @@ class Journal:
         self._append({"event": "done", "sub": sub_id, "status": status})
 
     def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle.closed:
+            # A completion racing shutdown: the journal is sealed and
+            # its content durable; dropping the write beats raising
+            # into the finishing task.
+            return
         self._handle.write(json.dumps(record, sort_keys=True,
                                       separators=(",", ":")) + "\n")
         self._handle.flush()

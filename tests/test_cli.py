@@ -262,3 +262,87 @@ class TestLint:
     def test_lint_unknown_kernel(self, capsys):
         assert main(["lint", "--kernels", "warpdrive"]) == 2
         assert "unknown kernel" in capsys.readouterr().err
+
+
+class TestErrorBudgetValidation:
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "-0.1", "1.5"])
+    def test_non_finite_and_out_of_range_budgets_exit_2(self, bad,
+                                                        capsys):
+        rc = main(["run", "vectorAdd", "--gpu", "GT240",
+                   "--backend", "auto", "--error-budget=" + bad,
+                   "--no-cache"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "finite fraction in [0, 1]" in err
+
+    def test_budget_requires_auto_backend(self, capsys):
+        rc = main(["run", "vectorAdd", "--gpu", "GT240",
+                   "--backend", "cycle", "--error-budget", "0.1",
+                   "--no-cache"])
+        assert rc == 2
+        assert "requires --backend auto" in capsys.readouterr().err
+
+    def test_validate_checks_budget_too(self, capsys):
+        rc = main(["validate", "--gpu", "GT240", "--backend", "auto",
+                   "--error-budget", "nan", "--no-cache"])
+        assert rc == 2
+        assert "finite fraction" in capsys.readouterr().err
+
+    def test_boundary_budgets_parse(self):
+        # 0.0 and 1.0 are legal; the parser path must not reject them.
+        args = build_parser().parse_args(
+            ["run", "vectorAdd", "--backend", "auto",
+             "--error-budget", "0.0"])
+        from repro.cli import _check_error_budget
+        assert _check_error_budget(args) == 0
+        args.error_budget = 1.0
+        assert _check_error_budget(args) == 0
+
+
+class TestFleetCLI:
+    def test_fleet_json_smoke(self, capsys, tmp_path):
+        out = tmp_path / "fleet.json"
+        rc = main(["fleet", "--gpus", "GTX580", "--requests", "20",
+                   "--duration", "3600", "--no-cache", "--json",
+                   "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"]["requests"] == 20
+        assert payload["kwh"] > 0
+        assert json.loads(out.read_text()) == payload
+
+    def test_fleet_table_smoke(self, capsys):
+        rc = main(["fleet", "--gpus", "2xGT240", "--requests", "10",
+                   "--duration", "600", "--no-cache"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "bill:" in text and "kWh" in text
+
+    def test_fleet_scenario_file(self, capsys, tmp_path):
+        from repro.fleet import FleetScenario
+        path = tmp_path / "scenario.json"
+        scenario = FleetScenario(gpus=["GT240"], duration_s=600.0,
+                                 n_requests=5, error_budget=0.10)
+        path.write_text(scenario.to_json())
+        rc = main(["fleet", "--scenario", str(path), "--no-cache",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"]["requests"] == 5
+
+    def test_fleet_bad_gpu_spec_exits_2(self, capsys):
+        rc = main(["fleet", "--gpus", "2x-GT240", "--no-cache"])
+        assert rc == 2
+        assert "bad fleet scenario" in capsys.readouterr().err
+
+    def test_fleet_bad_budget_exits_2(self, capsys):
+        rc = main(["fleet", "--error-budget", "nan", "--no-cache"])
+        assert rc == 2
+        assert "finite fraction" in capsys.readouterr().err
+
+    def test_fleet_bad_scenario_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({"gpus": ["GT240"], "warp": 9}))
+        rc = main(["fleet", "--scenario", str(path), "--no-cache"])
+        assert rc == 2
+        assert "bad fleet scenario" in capsys.readouterr().err

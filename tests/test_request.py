@@ -217,3 +217,32 @@ class TestFailureSerialization:
         assert len(data["failures"]) == 1
         assert data["failures"][0]["kind"] == "timeout"
         assert "1 simulation job(s) failed" in data["message"]
+
+
+class TestErrorBudgetEdgeCases:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), -0.01, 1.01])
+    def test_simrequest_rejects_non_finite_and_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="finite fraction"):
+            SimRequest(config=gt240(), kernel="vectorAdd",
+                       backend="auto", error_budget=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), -0.01, 1.01])
+    def test_simjob_rejects_non_finite_and_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="finite fraction"):
+            SimJob(config=gt240(), kernel="vectorAdd",
+                   backend="auto", error_budget=bad)
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_boundary_budgets_accepted(self, ok):
+        request = SimRequest(config=gt240(), kernel="vectorAdd",
+                             backend="auto", error_budget=ok)
+        assert request.error_budget == ok
+
+    def test_from_dict_rejects_nan_budget_cleanly(self):
+        base = SimRequest(config=gt240(), kernel="vectorAdd",
+                          backend="auto", error_budget=0.1).to_dict()
+        base["error_budget"] = float("nan")
+        with pytest.raises(ValueError, match="finite fraction"):
+            SimRequest.from_dict(base)

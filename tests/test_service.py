@@ -350,3 +350,116 @@ class TestJournalFormat:
         journal.close()
         assert Journal.highest_serial(path) == 7
         assert Journal.highest_serial(tmp_path / "missing.jsonl") == 0
+
+
+class TestUptimeMonotonic:
+    def test_uptime_survives_wall_clock_step(self, monkeypatch):
+        # An NTP step (or suspend) moves time.time() arbitrarily;
+        # uptime must come from the monotonic clock and never jump
+        # negative.
+        from repro.service import core as service_core
+        service = PowerService(cache=None)
+        monkeypatch.setattr(service_core.time, "time",
+                            lambda: service.started_at - 3600.0)
+        status = service.status()
+        assert status["uptime_s"] >= 0.0
+        assert status["uptime_s"] < 60.0
+        assert status["started_at"] == service.started_at
+
+    def test_uptime_tracks_monotonic_clock(self, monkeypatch):
+        from repro.service import core as service_core
+        service = PowerService(cache=None)
+        base = service._started_monotonic
+        monkeypatch.setattr(service_core.time, "monotonic",
+                            lambda: base + 42.0)
+        assert service.status()["uptime_s"] == pytest.approx(42.0)
+
+
+class TestGracefulShutdown:
+    def _start_serve(self, journal_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        env = os.environ.copy()
+        src_root = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + ([env["PYTHONPATH"]]
+                          if env.get("PYTHONPATH") else []))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--no-cache", "--journal", str(journal_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        port = None
+        for line in proc.stdout:
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port, "daemon never reported its port"
+        return proc, port
+
+    def test_sigterm_mid_queue_loses_no_journal_entries(self, tmp_path):
+        # Pause dispatch so submissions stay queued, then SIGTERM: the
+        # daemon must exit cleanly and every admitted submission must
+        # be durable (and replayable) in the journal -- no torn lines.
+        import signal
+
+        journal_path = tmp_path / "journal.jsonl"
+        proc, port = self._start_serve(journal_path)
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}",
+                                   tenant="test")
+            client.pause()
+            subs = [client.submit(tiny_request(), wait=False)
+                    for _ in range(3)]
+            assert all(p["state"] == "queued" for p in subs)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        lines = [line for line in
+                 journal_path.read_text().splitlines() if line]
+        records = [json.loads(line) for line in lines]  # none torn
+        submitted = [r for r in records if r["event"] == "submit"]
+        assert len(submitted) == 3
+        pending = Journal.pending(journal_path)
+        assert [p["sub"] for p in pending] == \
+            [p["submission"] for p in subs]
+
+    def test_journal_append_after_close_is_dropped(self, tmp_path):
+        # A completion racing shutdown must not raise into the
+        # finishing task nor corrupt the sealed log.
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.record_submit("s000001", "t", "d1", 0, {})
+        journal.close()
+        journal.record_done("s000001", "done")  # no-op, no raise
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["submit"]
+
+    def test_close_ends_open_streams(self, daemon_factory):
+        # close() pushes the None sentinel to live subscribers, so an
+        # open SSE stream terminates instead of hanging.
+        harness = daemon_factory(max_parallel=1)
+        harness.service.pause()
+        payload = harness.client.submit(
+            tiny_request(trace_interval=500.0), wait=False)
+        sub_id = payload["submission"]
+
+        def drain():
+            return list(harness.client.stream(sub_id))
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(drain)
+            import time as _time
+            _time.sleep(0.3)  # let the stream attach
+            harness.stop()
+            events = future.result(timeout=30)
+        assert all(e["event"] != "result" for e in events)
