@@ -1,0 +1,99 @@
+"""Bench: sanitizer overhead and the large fuzz corpus.
+
+Two measurements land in ``BENCH_fuzz.json`` (override with
+``$BENCH_FUZZ_JSON``):
+
+* **Sanitizer overhead** -- the Table IV suite simulated plain and with
+  ``sanitize=True`` on the serial cycle backend.  The sanitizer is a
+  pure observer on the memory path, so it must stay within a 3x
+  wall-clock envelope (the acceptance bar; in practice it is far
+  cheaper because shadow updates are vectorized per access batch).
+* **Corpus scale** -- a 500-kernel seeded fuzz run.  The differential
+  harness must report zero cycle-vs-reference mismatches and total
+  race recall at this scale, not just in the 40-case unit fixture.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import pedantic_once
+from repro.analysis.fuzz import run_fuzz
+from repro.backends import get_backend
+from repro.sim import gt240
+from repro.workloads import all_kernel_launches
+
+#: Same 4-kernel Table IV suite the runner/backends benches use.
+SUITE = ["BlackScholes", "heartwall", "pathfinder", "hotspot"]
+
+CORPUS_SEED = 1337
+CORPUS_COUNT = 500
+
+
+def _write_report(stats):
+    path = os.environ.get("BENCH_FUZZ_JSON", "BENCH_fuzz.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+    print(f"\nfuzz bench report written to {path}")
+
+
+def test_bench_fuzz(benchmark):
+    config = gt240()
+    launches = all_kernel_launches()
+    cycle = get_backend("cycle")
+
+    def measure():
+        plain_s = {}
+        start = time.perf_counter()
+        for name in SUITE:
+            cycle.simulate(config, launches[name])
+            plain_s[name] = time.perf_counter() - start - \
+                sum(plain_s.values())
+        plain_total = time.perf_counter() - start
+
+        sanitized_s = {}
+        start = time.perf_counter()
+        for name in SUITE:
+            cycle.simulate(config, launches[name], sanitize=True)
+            sanitized_s[name] = time.perf_counter() - start - \
+                sum(sanitized_s.values())
+        sanitized_total = time.perf_counter() - start
+
+        start = time.perf_counter()
+        report = run_fuzz(seed=CORPUS_SEED, count=CORPUS_COUNT,
+                          config=config)
+        fuzz_s = time.perf_counter() - start
+
+        return {
+            "suite": SUITE,
+            "gpu": config.name,
+            "plain_s": plain_total,
+            "sanitized_s": sanitized_total,
+            "overhead_x": sanitized_total / plain_total,
+            "per_kernel_plain_s": plain_s,
+            "per_kernel_sanitized_s": sanitized_s,
+            "corpus_seed": CORPUS_SEED,
+            "corpus_count": CORPUS_COUNT,
+            "corpus_s": fuzz_s,
+            "corpus_valid": report.valid,
+            "corpus_mismatches": len(report.mismatches),
+            "corpus_gates": report.gates,
+            "corpus_matrix": report.matrix,
+        }
+
+    stats = pedantic_once(benchmark, measure)
+    _write_report(stats)
+    print(f"plain {stats['plain_s']:.2f}s  "
+          f"sanitized {stats['sanitized_s']:.2f}s  "
+          f"overhead {stats['overhead_x']:.2f}x  "
+          f"corpus {stats['corpus_valid']} kernels in "
+          f"{stats['corpus_s']:.1f}s")
+
+    # The observer contract in wall-clock terms: shadow-memory updates
+    # may not triple the simulation.
+    assert stats["overhead_x"] <= 3.0
+    # At 500 kernels the differential harness must still be spotless.
+    assert stats["corpus_valid"] == CORPUS_COUNT
+    assert stats["corpus_mismatches"] == 0
+    assert stats["corpus_gates"]["ok"] is True
+    assert stats["corpus_gates"]["race_recall"] == 1.0

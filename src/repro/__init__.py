@@ -15,8 +15,10 @@ Quickstart::
 Package map:
 
 * :mod:`repro.isa` -- mini SIMT instruction set + kernel builder
-* :mod:`repro.analysis` -- static kernel verifier, race detector, lints
-* :mod:`repro.sim` -- cycle-level GPGPU performance simulator
+* :mod:`repro.analysis` -- static kernel verifier, race detector, lints,
+  and the differential kernel fuzzer that grades them
+* :mod:`repro.sim` -- cycle-level GPGPU performance simulator + runtime
+  sanitizer (shadow-memory race/uninit/bounds checking)
 * :mod:`repro.power` -- GPGPU-Pow hierarchical power model
 * :mod:`repro.hw` -- virtual hardware + measurement testbed
 * :mod:`repro.workloads` -- the 19 evaluation kernels of Table I
@@ -41,9 +43,9 @@ Package map:
 #: stale entries can never silently poison validation numbers.
 SIM_VERSION = "2013.1"
 
-from .analysis import (AnalysisResult, Diagnostic, LaunchShape, Severity,
-                       analyze_kernel, analyze_launch,
-                       compare_static_dynamic)
+from .analysis import (AnalysisResult, Diagnostic, FuzzReport, LaunchShape,
+                       Severity, analyze_kernel, analyze_launch,
+                       compare_static_dynamic, grade_rules, run_fuzz)
 from .backends import (AUTO_BACKEND, BackendInfo, SimulationBackend,
                        escalation_path, get_backend, ladder,
                        list_backends, register_backend, resolve_backend)
@@ -57,15 +59,18 @@ from .request import SimRequest
 from .runner import (JobFailure, JobResult, ResultCache, RunnerError,
                      SimJob, run_jobs, set_fault_plan)
 from .sim.config import GPUConfig, gt240, gtx580, preset
+from .sim.sanitizer import Sanitizer
 from .telemetry import (ActivityTracer, ActivityWindow, CollectingSink,
                         NullSink, PowerSample, PowerTrace, TraceSink,
                         sum_windows)
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
-    "AnalysisResult", "Diagnostic", "LaunchShape", "Severity",
+    "AnalysisResult", "Diagnostic", "FuzzReport", "LaunchShape",
+    "Sanitizer", "Severity",
     "analyze_kernel", "analyze_launch", "compare_static_dynamic",
+    "grade_rules", "run_fuzz",
     "ArchitectureReport", "GPUSimPow", "SimulationResult",
     "SuiteValidation", "validate_suite", "Chip", "PowerNode",
     "PowerReport", "GPUConfig", "gt240", "gtx580", "preset",

@@ -21,7 +21,8 @@ from typing import Optional, Sequence
 
 from ..isa.launch import KernelLaunch
 from ..sim.config import GPUConfig
-from .crosscheck import (CrossCheckResult, compare_static_dynamic,
+from .crosscheck import (RULE_GROUPS, RULE_PAIRS, CrossCheckResult,
+                         compare_static_dynamic, grade_rules,
                          shape_for_launch)
 from .diagnostics import (RULES, Diagnostic, Rule, Severity, diag,
                           diagnostics_to_json, format_diagnostics,
@@ -29,23 +30,28 @@ from .diagnostics import (RULES, Diagnostic, Rule, Severity, diag,
 from .divergence import DivergencePass
 from .framework import (AnalysisManager, AnalysisResult, LaunchShape,
                         Pass, default_passes, run_passes)
+from .fuzz import FuzzCase, FuzzReport, KernelFuzzer, run_fuzz
 from .memlints import (MemoryLintPass, SitePrediction, StaticMemReport,
                        predict_memory)
 from .races import SmemRacePass
 from .symeval import (BarrierFact, BranchFact, MemAccess, SymbolicEvaluator,
                       SymbolicFacts)
+from .uninit import UninitSharedPass
 from .verifier import CfgVerifierPass, StructuralVerifierPass
 
 __all__ = [
     "AnalysisManager", "AnalysisResult", "BarrierFact", "BranchFact",
     "CfgVerifierPass", "CrossCheckResult", "Diagnostic",
-    "DivergencePass", "LaunchShape", "MemAccess", "MemoryLintPass",
-    "Pass", "RULES", "Rule", "Severity", "SitePrediction",
-    "SmemRacePass", "StaticMemReport", "StructuralVerifierPass",
-    "SymbolicEvaluator", "SymbolicFacts", "analyze_kernel",
+    "DivergencePass", "FuzzCase", "FuzzReport", "KernelFuzzer",
+    "LaunchShape", "MemAccess", "MemoryLintPass",
+    "Pass", "RULES", "RULE_GROUPS", "RULE_PAIRS", "Rule", "Severity",
+    "SitePrediction", "SmemRacePass", "StaticMemReport",
+    "StructuralVerifierPass", "SymbolicEvaluator", "SymbolicFacts",
+    "UninitSharedPass", "analyze_kernel",
     "analyze_launch", "compare_static_dynamic", "default_passes",
-    "diag", "diagnostics_to_json", "format_diagnostics", "has_errors",
-    "max_severity", "predict_memory", "run_passes", "shape_for_launch",
+    "diag", "diagnostics_to_json", "format_diagnostics", "grade_rules",
+    "has_errors", "max_severity", "predict_memory", "run_fuzz",
+    "run_passes", "shape_for_launch",
 ]
 
 

@@ -116,3 +116,86 @@ def compare_static_dynamic(launch: KernelLaunch, config: GPUConfig,
     result.checks = checks
     result.agree = all(c["ok"] for c in checks) if checks else None
     return result
+
+
+# ---------------------------------------------------------------------------
+# Grading static rules against sanitizer ground truth
+# ---------------------------------------------------------------------------
+
+#: Static rule -> the sanitizer rule serving as its ground truth.
+#: R003 (address not analyzable / undecidable) counts as a *race
+#: prediction* for grading: the analyzer declined to prove safety.
+RULE_PAIRS: Dict[str, str] = {
+    "R001": "S003",
+    "R002": "S003",
+    "R003": "S003",
+    "M003": "S002",
+    "U001": "S001",
+}
+
+#: Grading groups: several static rules can legitimately fire for one
+#: dynamic phenomenon (a write-write race is R001 *or* an undecidable
+#: R003), so recall is judged per group -- did *any* paired static
+#: rule predict the observed dynamic finding?
+RULE_GROUPS: Dict[str, Dict[str, Any]] = {
+    "races": {"static": ("R001", "R002", "R003"), "dynamic": "S003"},
+    "bounds": {"static": ("M003",), "dynamic": "S002"},
+    "uninit_shared": {"static": ("U001",), "dynamic": "S001"},
+}
+
+
+def _score(tp: int, fp: int, fn: int) -> Dict[str, Any]:
+    precision = tp / (tp + fp) if tp + fp else None
+    recall = tp / (tp + fn) if tp + fn else None
+    return {"tp": tp, "fp": fp, "fn": fn,
+            "precision": precision, "recall": recall}
+
+
+def grade_rules(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Precision/recall of static rules against sanitizer ground truth.
+
+    Each record describes one fuzzed (or curated) kernel run both ways:
+    ``{"static_rules": <iterable of rule ids the analyzer fired>,
+    "dynamic_rules": <iterable the sanitizer fired>}`` (extra keys pass
+    through untouched).  Counting is per *kernel*, not per finding --
+    the two sides aggregate differently (the sanitizer collapses
+    identical races across blocks, the analyzer reports per site), so
+    the comparable unit is "did this rule fire on this kernel at all".
+
+    Returns ``{"cases": n, "rules": {rule: row}, "groups": {name:
+    row}}`` where each row carries tp/fp/fn and precision/recall
+    (None when undefined, i.e. the denominator is empty).  Per-rule
+    rows grade a rule's own firings; group rows answer the question
+    the fuzzer gates on -- e.g. for ``races``, every dynamically
+    observed S003 must have been predicted by *some* race rule
+    (recall 1.0 means the static analyzer has no race false
+    negatives).
+    """
+    per_rule = {rule: {"tp": 0, "fp": 0, "fn": 0}
+                for rule in RULE_PAIRS}
+    per_group = {name: {"tp": 0, "fp": 0, "fn": 0}
+                 for name in RULE_GROUPS}
+    for rec in records:
+        static = set(rec.get("static_rules", ()))
+        dynamic = set(rec.get("dynamic_rules", ()))
+        for rule, truth in RULE_PAIRS.items():
+            if rule in static:
+                bucket = "tp" if truth in dynamic else "fp"
+                per_rule[rule][bucket] += 1
+            elif truth in dynamic:
+                per_rule[rule]["fn"] += 1
+        for name, group in RULE_GROUPS.items():
+            predicted = any(r in static for r in group["static"])
+            observed = group["dynamic"] in dynamic
+            if predicted:
+                bucket = "tp" if observed else "fp"
+                per_group[name][bucket] += 1
+            elif observed:
+                per_group[name]["fn"] += 1
+    return {
+        "cases": len(records),
+        "rules": {rule: _score(**counts)
+                  for rule, counts in sorted(per_rule.items())},
+        "groups": {name: _score(**counts)
+                   for name, counts in sorted(per_group.items())},
+    }

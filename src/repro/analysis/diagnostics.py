@@ -47,7 +47,10 @@ class Rule:
 
 #: The rule catalogue.  Ids are stable API: tests and CI gate on them.
 #: ``V*`` = verifier (structural/dataflow well-formedness), ``D*`` =
-#: divergence, ``R*`` = shared-memory races, ``M*`` = memory lints.
+#: divergence, ``R*`` = shared-memory races, ``M*`` = memory lints,
+#: ``U*`` = uninitialized-read lints, ``S*`` = runtime sanitizer
+#: findings (:mod:`repro.sim.sanitizer` -- dynamic ground truth the
+#: static rules are graded against).
 RULES: Dict[str, Rule] = {r.rule_id: r for r in (
     # -- verifier -----------------------------------------------------------
     Rule("V001", Severity.ERROR,
@@ -85,6 +88,18 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
          "poorly coalesced global-memory access"),
     Rule("M003", Severity.ERROR,
          "shared-memory access provably out of bounds"),
+    # -- uninitialized reads -----------------------------------------------
+    Rule("U001", Severity.WARNING,
+         "read of provably-uninitialized shared memory"),
+    # -- runtime sanitizer -------------------------------------------------
+    Rule("S001", Severity.WARNING,
+         "runtime read of uninitialized memory"),
+    Rule("S002", Severity.ERROR,
+         "runtime out-of-bounds memory access"),
+    Rule("S003", Severity.ERROR,
+         "dynamic shared-memory race within a barrier interval"),
+    Rule("S004", Severity.ERROR,
+         "barrier deadlock detected at runtime"),
 )}
 
 

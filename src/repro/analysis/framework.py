@@ -271,9 +271,11 @@ def default_passes() -> List[Pass]:
     from .divergence import DivergencePass
     from .memlints import MemoryLintPass
     from .races import SmemRacePass
+    from .uninit import UninitSharedPass
     from .verifier import CfgVerifierPass, StructuralVerifierPass
     return [StructuralVerifierPass(), CfgVerifierPass(),
-            DivergencePass(), SmemRacePass(), MemoryLintPass()]
+            DivergencePass(), SmemRacePass(), UninitSharedPass(),
+            MemoryLintPass()]
 
 
 def run_passes(kernel: Kernel, shape: LaunchShape,

@@ -1,0 +1,85 @@
+"""Static detection of uninitialized shared-memory reads (rule U001).
+
+Shared memory starts each block's life zeroed by the *simulator*, but
+CUDA gives no such guarantee -- a kernel whose ``LDS`` touches words no
+``STS`` ever writes is reading garbage on real hardware.  The pass
+proves that with whole-kernel set semantics: the union of every
+statically-resolved store's address set is the initialized region, and
+any resolved load word outside it is flagged.
+
+Whole-kernel (not flow-sensitive) semantics is deliberate: it matches
+exactly what the runtime sanitizer's ``S001`` check observes (per-PC
+read sets minus the union of all words the block ever wrote), so the
+fuzzer's precision/recall grading compares like with like.  A load that
+races ahead of its own initialization is the race detector's business
+(R002), not this pass's.
+
+Soundness discipline -- the rule says *provably*:
+
+* any store whose address set cannot be fully resolved makes the
+  initialized region unknowable, so the pass bails without findings;
+* a load only counts when its own address set and participation mask
+  are exact -- an over-approximated read set could flag words never
+  actually read.
+
+With zero shared stores, every resolved shared load is trivially
+reading uninitialized memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from .diagnostics import Diagnostic, diag
+from .framework import AnalysisManager, Pass
+
+#: How many example word addresses a diagnostic's ``data`` carries
+#: (mirrors the sanitizer's convention).
+EXAMPLE_WORDS = 8
+
+
+class UninitSharedPass(Pass):
+    """Resolved LDS words outside the union of all STS address sets."""
+
+    name = "uninit-shared"
+    needs_cfg = True
+
+    def run(self, am: AnalysisManager) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        smem = am.symbolic.smem_accesses()
+        loads = [a for a in smem if not a.is_store]
+        stores = [a for a in smem if a.is_store]
+        if not loads:
+            return out
+        # An unresolvable store could initialize anything: no claim.
+        if any(not s.base_resolves for s in stores):
+            return out
+        words = am.kernel.smem_words
+        ctaids = sorted({0, max(0, am.shape.grid - 1)})
+        flagged: Set[int] = set()
+        for ctaid in ctaids:
+            written = np.zeros(max(1, words), dtype=bool)
+            for s in stores:
+                addrs = s.addresses(ctaid)
+                addrs = addrs[(addrs >= 0) & (addrs < words)]
+                written[addrs] = True
+            for ld in loads:
+                if ld.pc in flagged or not ld.base_resolves \
+                        or not ld.exact:
+                    continue
+                addrs = ld.addresses(ctaid)
+                addrs = addrs[(addrs >= 0) & (addrs < words)]
+                uninit = np.unique(addrs[~written[addrs]])
+                if uninit.size:
+                    flagged.add(ld.pc)
+                    out.append(diag(
+                        "U001", am.kernel.name,
+                        f"{ld.op} reads {uninit.size} shared word(s) "
+                        f"no store in the kernel ever writes",
+                        pc=ld.pc,
+                        words=[int(w) for w in uninit[:EXAMPLE_WORDS]],
+                        n_words=int(uninit.size), ctaid=ctaid))
+        out.sort(key=lambda d: d.pc if d.pc is not None else -1)
+        return out

@@ -67,10 +67,15 @@ class BackendCapabilities:
         exact: Activity counts are bit-identical to the cycle-accurate
             reference simulator; False marks estimators whose numbers
             carry model error.
+        supports_sanitize: The backend can run with the runtime memory
+            sanitizer (:mod:`repro.sim.sanitizer`) attached and return
+            its findings on ``SimulationOutput.diagnostics``.  Only
+            backends that actually execute memory instructions can.
     """
 
     supports_tracing: bool = False
     exact: bool = False
+    supports_sanitize: bool = False
 
 
 @dataclass(frozen=True)
@@ -188,6 +193,14 @@ class SimulationBackend(ABC):
         if tracer is not None and not self.capabilities.supports_tracing:
             raise BackendError(
                 f"backend {self.name!r} does not support activity tracing"
+            )
+
+    def check_sanitize(self, sanitize: bool) -> None:
+        """Raise :class:`BackendError` on an unsupported sanitize ask."""
+        if sanitize and not self.capabilities.supports_sanitize:
+            raise BackendError(
+                f"backend {self.name!r} does not support the runtime "
+                f"sanitizer (no memory instructions are executed)"
             )
 
     def simulate_sequence(self, config: GPUConfig,

@@ -36,7 +36,8 @@ class CycleBackend(SimulationBackend):
     info = BackendInfo(
         tier=3, expected_error=0.0, relative_cost=1.0,
         capabilities=BackendCapabilities(supports_tracing=True,
-                                         exact=True),
+                                         exact=True,
+                                         supports_sanitize=True),
         auto=True,
         description="cycle-accurate event-driven simulation (exact)")
 
@@ -48,10 +49,17 @@ class CycleBackend(SimulationBackend):
     def simulate(self, config: GPUConfig, launch: KernelLaunch, *,
                  max_cycles: float = 5e8,
                  gmem: Optional[np.ndarray] = None,
-                 tracer=None) -> SimulationOutput:
+                 tracer=None, sanitize: bool = False) -> SimulationOutput:
         self.check_tracer(tracer)
+        self.check_sanitize(sanitize)
+        sanitizer = None
+        if sanitize:
+            from ..sim.sanitizer import Sanitizer
+            words = launch.gmem_words if gmem is None else len(gmem)
+            sanitizer = Sanitizer(launch, gmem_words=words)
         return GPU(config).run(launch, max_cycles=max_cycles,
-                               gmem=gmem, tracer=tracer)
+                               gmem=gmem, tracer=tracer,
+                               sanitizer=sanitizer)
 
 
 class FunctionalRefBackend(SimulationBackend):
@@ -61,7 +69,8 @@ class FunctionalRefBackend(SimulationBackend):
     info = BackendInfo(
         tier=3, expected_error=0.0, relative_cost=2.0,
         capabilities=BackendCapabilities(supports_tracing=True,
-                                         exact=True),
+                                         exact=True,
+                                         supports_sanitize=True),
         auto=False,
         description="scalar reference interpreter (exact cross-check)")
 
@@ -72,8 +81,14 @@ class FunctionalRefBackend(SimulationBackend):
     def simulate(self, config: GPUConfig, launch: KernelLaunch, *,
                  max_cycles: float = 5e8,
                  gmem: Optional[np.ndarray] = None,
-                 tracer=None) -> SimulationOutput:
+                 tracer=None, sanitize: bool = False) -> SimulationOutput:
         self.check_tracer(tracer)
+        self.check_sanitize(sanitize)
+        sanitizer = None
+        if sanitize:
+            from ..sim.sanitizer import Sanitizer
+            words = launch.gmem_words if gmem is None else len(gmem)
+            sanitizer = Sanitizer(launch, gmem_words=words)
         from ..sim import core as sim_core
         from ..sim.functional_ref import (branch_taken_mask_reference,
                                           execute_alu_reference)
@@ -84,6 +99,7 @@ class FunctionalRefBackend(SimulationBackend):
         sim_core.branch_taken_mask = branch_taken_mask_reference
         try:
             return GPU(config).run(launch, max_cycles=max_cycles,
-                                   gmem=gmem, tracer=tracer)
+                                   gmem=gmem, tracer=tracer,
+                                   sanitizer=sanitizer)
         finally:
             sim_core.execute_alu, sim_core.branch_taken_mask = saved

@@ -112,7 +112,7 @@ class _ShardSession:
                  base_gmem: np.ndarray,
                  assignments: Sequence[Tuple[int, int]],
                  trace_interval: Optional[float],
-                 max_cycles: float) -> None:
+                 max_cycles: float, sanitize: bool = False) -> None:
         self.launch = launch
         self.max_cycles = max_cycles
         self.base_gmem = base_gmem
@@ -124,6 +124,13 @@ class _ShardSession:
         self.engine.prepare(launch, self.gmem, launch.const_init)
         self.engine.load_assignments(assignments)
         self.engine.seed()
+        self.sanitizer = None
+        if sanitize:
+            from ..sim.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(launch,
+                                       gmem_words=len(base_gmem))
+            for core in cores:
+                core.sanitizer = self.sanitizer
         self.recorder: Optional[BoundaryRecorder] = None
         if trace_interval is not None:
             self.recorder = BoundaryRecorder(trace_interval,
@@ -168,17 +175,19 @@ class _ShardSession:
             "final_time": engine.final_time,
             "gmem_idx": idx,
             "gmem_val": self.gmem[idx],
+            "sanitizer": (None if self.sanitizer is None
+                          else self.sanitizer.export_state()),
         }
 
 
 def _shard_worker_main(conn, config, core_ids, dispatch_order, launch,
                        base_gmem, assignments, trace_interval,
-                       max_cycles) -> None:
+                       max_cycles, sanitize) -> None:
     """Forked shard process: serve epoch/finish requests over ``conn``."""
     try:
         session = _ShardSession(config, core_ids, dispatch_order, launch,
                                 base_gmem, assignments, trace_interval,
-                                max_cycles)
+                                max_cycles, sanitize)
         while True:
             msg = conn.recv()
             if msg[0] == "epoch":
@@ -264,7 +273,8 @@ class ParallelCycleBackend(SimulationBackend):
     info = BackendInfo(
         tier=2, expected_error=0.01, relative_cost=0.4,
         capabilities=BackendCapabilities(supports_tracing=True,
-                                         exact=False),
+                                         exact=False,
+                                         supports_sanitize=True),
         auto=False,
         description="sharded cycle simulation, epoch-relaxed timing")
 
@@ -315,10 +325,12 @@ class ParallelCycleBackend(SimulationBackend):
                  max_cycles: float = 5e8,
                  gmem: Optional[np.ndarray] = None,
                  tracer=None,
+                 sanitize: bool = False,
                  epoch_cycles: object = "default",
                  n_shards: Optional[int] = None,
                  processes: Optional[bool] = None) -> SimulationOutput:
         self.check_tracer(tracer)
+        self.check_sanitize(sanitize)
         options: Dict[str, object] = {}
         if epoch_cycles != "default":
             options["epoch_cycles"] = epoch_cycles
@@ -329,22 +341,30 @@ class ParallelCycleBackend(SimulationBackend):
             gmem = launch.build_global_memory()
         if shards == 1:
             # One shard is the serial engine: bit-identical to `cycle`.
+            sanitizer = None
+            if sanitize:
+                from ..sim.sanitizer import Sanitizer
+                sanitizer = Sanitizer(launch, gmem_words=len(gmem))
             return GPU(config).run(launch, max_cycles=max_cycles,
-                                   gmem=gmem, tracer=tracer)
+                                   gmem=gmem, tracer=tracer,
+                                   sanitizer=sanitizer)
         try:
             return self._run_sharded(config, launch, max_cycles, gmem,
-                                     tracer, epoch, shards, use_procs)
+                                     tracer, epoch, shards, use_procs,
+                                     sanitize)
         except (EOFError, BrokenPipeError, OSError):
             # A shard process died (OOM kill, interpreter teardown...).
             # The computation is deterministic, so replaying it entirely
             # in-process yields the same result, just without speedup.
             return self._run_sharded(config, launch, max_cycles, gmem,
-                                     tracer, epoch, shards, False)
+                                     tracer, epoch, shards, False,
+                                     sanitize)
 
     # -- coordinator -------------------------------------------------------------
 
     def _run_sharded(self, config, launch, max_cycles, gmem, tracer,
-                     epoch, n_shards, use_procs) -> SimulationOutput:
+                     epoch, n_shards, use_procs,
+                     sanitize=False) -> SimulationOutput:
         order = _dispatch_order(config)
         core_sets = _shard_core_ids(config, n_shards)
         owner = {cid: k for k, ids in enumerate(core_sets) for cid in ids}
@@ -362,7 +382,7 @@ class ParallelCycleBackend(SimulationBackend):
         interval = tracer.interval_cycles if tracer is not None else None
         shard_args = [
             (config, core_sets[k], order, launch, gmem, assignments[k],
-             interval, max_cycles)
+             interval, max_cycles, sanitize)
             for k in range(n_shards)
         ]
         if use_procs:
@@ -475,6 +495,18 @@ class ParallelCycleBackend(SimulationBackend):
         for r in results:
             gmem[r["gmem_idx"]] = r["gmem_val"]
 
+        diagnostics = None
+        if any(r.get("sanitizer") is not None for r in results):
+            # Blocks never span shards, so block-local findings are
+            # already final; only global-memory access sets need a
+            # cross-shard union before analysis.
+            from ..sim.sanitizer import Sanitizer
+            merged = Sanitizer(launch, gmem_words=len(gmem))
+            for r in results:
+                if r.get("sanitizer") is not None:
+                    merged.absorb(r["sanitizer"])
+            diagnostics = merged.finalize()
+
         windows = None
         if tracer is not None:
             per_shard = [
@@ -499,6 +531,7 @@ class ParallelCycleBackend(SimulationBackend):
             gmem=gmem,
             cycles=final_time,
             windows=windows,
+            diagnostics=diagnostics,
         )
 
     @staticmethod

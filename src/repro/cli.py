@@ -7,6 +7,8 @@ serves both from a shell:
     gpusimpow run BlackScholes --gpu GT240 --profile
     gpusimpow run matrixMul --gpu GTX580 --save-trace trace.json
     gpusimpow run heartwall --gpu GTX580 --backend analytical
+    gpusimpow run needle --gpu GT240 --sanitize
+    gpusimpow fuzz --seed 1337 --count 200 --budget-s 120
     gpusimpow power --gpu GT240 --trace trace.json
     gpusimpow arch --gpu GTX580
     gpusimpow list
@@ -225,6 +227,12 @@ def _cmd_run(args) -> int:
             print(f"backend {args.backend!r} does not support "
                   f"--trace-interval", file=sys.stderr)
             return 2
+    if args.sanitize and args.backend != "auto":
+        from .backends import get_backend
+        if not get_backend(args.backend).capabilities.supports_sanitize:
+            print(f"backend {args.backend!r} does not support "
+                  f"--sanitize", file=sys.stderr)
+            return 2
     backend_options = None
     if args.epoch_cycles is not None or args.shards is not None:
         if args.backend != "parallel_cycle":
@@ -242,7 +250,9 @@ def _cmd_run(args) -> int:
                      trace_interval=args.trace_interval,
                      backend=args.backend,
                      backend_options=backend_options,
-                     error_budget=args.error_budget)
+                     error_budget=args.error_budget,
+                     sanitize=args.sanitize)
+    diagnostics = None
     if isinstance(args.profile, str):
         # Profile the backend's simulate itself: run the job in this
         # process (no cache, no pool -- a cache hit or a worker-side
@@ -254,11 +264,13 @@ def _cmd_run(args) -> int:
         profiler.disable()
         profiler.dump_stats(args.profile)
         activity, windows = out.activity, out.windows
+        diagnostics = getattr(out, "diagnostics", None)
     else:
         jobs, cache, progress, timeout = _runner_options(args)
         job, = run_jobs([sim_job], n_jobs=jobs, cache=cache,
                         progress=progress, timeout_s=timeout)
         activity, windows = job.activity, job.windows
+        diagnostics = job.diagnostics
     from .runner.cache import resolved_backend
     used, promised = resolved_backend(sim_job)
     result = sim.run(launches[args.kernel], activity=activity,
@@ -279,6 +291,13 @@ def _cmd_run(args) -> int:
           f"{result.chip_dynamic_w:.2f} dynamic)")
     print(f"  DRAM power:    {result.power.dram.total_dynamic_w:10.2f} W")
     print(f"  energy/run:    {result.energy_j * 1e6:10.3f} uJ")
+    if args.sanitize:
+        if diagnostics:
+            print(f"  sanitizer:     {len(diagnostics)} finding(s)")
+            for d in diagnostics:
+                print(f"    {d.format()}")
+        else:
+            print("  sanitizer:     clean (no findings)")
     if args.profile is True:
         print()
         print(result.power.gpu.format())
@@ -378,6 +397,38 @@ def _cmd_lint(args) -> int:
     if failed and args.strict:
         return 1
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Fuzz the simulator + grade the static analyzer.
+
+    Generates a seeded corpus of random mini-ISA kernels, runs every
+    kernel on the cycle engine (sanitized) and the functional
+    reference, requires bit-exact agreement, and grades the static
+    R/M/U rules against the sanitizer's dynamic ground truth.  Exit
+    code 1 when a gate fails (any differential mismatch, or a
+    dynamically observed race the analyzer missed) -- the CI contract.
+    """
+    import json as _json
+
+    from .analysis.fuzz import format_report, run_fuzz
+    config = _load_config(args)
+
+    def progress(done, total):
+        if done % 50 == 0 or done == total:
+            print(f"  [{done}/{total}] kernels verified",
+                  file=sys.stderr)
+
+    report = run_fuzz(seed=args.seed, count=args.count,
+                      budget_s=args.budget_s, config=config,
+                      progress=progress if args.count >= 100 else None)
+    print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_dict(), handle, sort_keys=True,
+                       indent=2)
+        print(f"[wrote {args.out}]", file=sys.stderr)
+    return 0 if report.gates["ok"] else 1
 
 
 def _cmd_power(args) -> int:
@@ -603,7 +654,8 @@ def _cmd_submit(args) -> int:
     request = SimRequest(config=_load_config(args), kernel=args.kernel,
                          trace_interval=args.trace_interval,
                          backend=args.backend,
-                         error_budget=args.error_budget)
+                         error_budget=args.error_budget,
+                         sanitize=args.sanitize)
     client = ServiceClient(args.url, tenant=args.tenant)
     try:
         payload = client.submit(request, priority=args.priority,
@@ -641,6 +693,15 @@ def _cmd_submit(args) -> int:
           f"({summary['static_w']:.2f} static + "
           f"{summary['dynamic_w']:.2f} dynamic)")
     print(f"  card total:  {summary['card_total_w']:10.2f} W")
+    sanitizer = payload.get("result", {}).get("sanitizer")
+    if sanitizer is not None:
+        if sanitizer["clean"]:
+            print("  sanitizer:   clean (no findings)")
+        else:
+            print(f"  sanitizer:   "
+                  f"{len(sanitizer['diagnostics'])} finding(s)")
+            for d in sanitizer["diagnostics"]:
+                print(f"    {d.get('rule')}: {d.get('message')}")
     return 0
 
 
@@ -688,6 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--shards", type=int, default=None, metavar="N",
                        help="parallel_cycle backend: worker shard count "
                             "(clamped to the config's cluster count)")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime sanitizer (shadow "
+                            "memory): report uninitialized reads, "
+                            "out-of-bounds accesses, shared-memory "
+                            "races and barrier deadlocks")
     p_run.add_argument("--save-trace", default=None, metavar="FILE",
                        help="save the activity trace as JSON")
     p_run.add_argument("--trace-interval", type=float, default=None,
@@ -728,6 +794,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hide diagnostics below this severity "
                              "in the listing")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_fuzz = sub.add_parser("fuzz",
+                            help="differential-fuzz the engines and "
+                                 "grade the static analyzer")
+    add_gpu_args(p_fuzz)
+    p_fuzz.add_argument("--seed", type=int, default=1337,
+                        help="corpus seed; the same seed always names "
+                             "the same kernels (default: 1337)")
+    p_fuzz.add_argument("--count", type=int, default=200, metavar="N",
+                        help="verifier-valid kernels to run "
+                             "(default: 200)")
+    p_fuzz.add_argument("--budget-s", type=float, default=None,
+                        metavar="SECONDS", dest="budget_s",
+                        help="wall-clock budget; generation stops "
+                             "early when exceeded")
+    p_fuzz.add_argument("--out", default="fuzz_report.json",
+                        metavar="FILE",
+                        help="write the full report JSON (records, "
+                             "matrix, gates) there (default: "
+                             "fuzz_report.json; '' disables)")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_power = sub.add_parser("power",
                              help="evaluate power from a saved trace")
@@ -867,6 +954,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="request a windowed power trace every "
                                "N shader cycles")
     _add_backend_arg(p_submit)
+    p_submit.add_argument("--sanitize", action="store_true",
+                          help="run under the runtime sanitizer and "
+                               "include its findings in the result")
     p_submit.add_argument("--wait", action="store_true",
                           help="hold the request until the result is "
                                "ready and print it")

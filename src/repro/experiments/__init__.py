@@ -17,7 +17,7 @@ API, so every artifact can still be regenerated with e.g.::
 from .base import (Experiment, all_experiments, experiment_names,
                    get_experiment, register)
 from . import (exp_ablations, exp_analysis, exp_backends, exp_divergence,
-               exp_fig4, exp_fig6, exp_fleet, exp_microbench,
+               exp_fig4, exp_fig6, exp_fleet, exp_fuzz, exp_microbench,
                exp_powertrace, exp_statmodel, exp_table1, exp_table2,
                exp_table3, exp_table4, exp_table5)
 
@@ -38,11 +38,12 @@ ALL_EXPERIMENTS = {
     "backends": exp_backends,
     "analysis": exp_analysis,
     "fleet": exp_fleet,
+    "fuzz": exp_fuzz,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "Experiment", "all_experiments",
            "experiment_names", "get_experiment", "register"] + \
     [f"exp_{k}" for k in
      ("ablations", "analysis", "backends", "divergence", "fig4", "fig6",
-      "fleet", "microbench", "powertrace", "statmodel", "table1",
-      "table2", "table3", "table4", "table5")]
+      "fleet", "fuzz", "microbench", "powertrace", "statmodel",
+      "table1", "table2", "table3", "table4", "table5")]

@@ -69,6 +69,12 @@ class SimRequest(Serializable):
             never part of the digest -- only the *resolved* backend is.
         timeout_s: Per-attempt wall-clock budget in seconds (execution
             policy -- deliberately *not* part of the digest).
+        sanitize: Attach the runtime sanitizer
+            (:mod:`repro.sim.sanitizer`) to the run and surface its
+            findings alongside the result.  An execution-side observer
+            like ``timeout_s``: deliberately *not* part of the digest,
+            because the simulation result is byte-identical with or
+            without it.
         tag: Optional display label overriding the derived one.
         tags: Free-form string metadata (tenant hints, experiment ids);
             carried through the service and the journal, never part of
@@ -84,6 +90,7 @@ class SimRequest(Serializable):
     backend_options: Optional[Dict[str, Any]] = None
     error_budget: Optional[float] = None
     timeout_s: Optional[float] = None
+    sanitize: bool = False
     tag: str = ""
     tags: Dict[str, str] = field(default_factory=dict)
 
@@ -137,8 +144,8 @@ class SimRequest(Serializable):
 
         This is *the* cache key: two requests with the same digest name
         the same simulation result, whatever layer they came through.
-        Execution policy (``timeout_s``) and presentation (``tag``,
-        ``tags``) are excluded.
+        Execution policy (``timeout_s``), observers (``sanitize``) and
+        presentation (``tag``, ``tags``) are excluded.
         """
         from .runner.cache import request_key
         return request_key(self)
@@ -164,6 +171,7 @@ class SimRequest(Serializable):
                              else dict(job.backend_options)),
             error_budget=job.error_budget,
             timeout_s=job.timeout_s,
+            sanitize=job.sanitize,
             tag=job.tag,
         )
 
@@ -192,6 +200,8 @@ class SimRequest(Serializable):
             data["error_budget"] = self.error_budget
         if self.timeout_s is not None:
             data["timeout_s"] = self.timeout_s
+        if self.sanitize:
+            data["sanitize"] = True
         if self.tag:
             data["tag"] = self.tag
         if self.tags:
@@ -207,7 +217,7 @@ class SimRequest(Serializable):
         """
         known = {"config", "kernel", "launch", "max_cycles",
                  "trace_interval", "backend", "backend_options",
-                 "error_budget", "timeout_s", "tag", "tags"}
+                 "error_budget", "timeout_s", "sanitize", "tag", "tags"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
@@ -232,6 +242,7 @@ class SimRequest(Serializable):
             error_budget=(None if error_budget is None
                           else float(error_budget)),
             timeout_s=None if timeout_s is None else float(timeout_s),
+            sanitize=bool(data.get("sanitize", False)),
             tag=str(data.get("tag", "")),
             tags={str(k): str(v)
                   for k, v in data.get("tags", {}).items()},

@@ -299,9 +299,12 @@ def _execute_job(payload):
     """Run one job attempt, ship back plain data (never raises).
 
     ``payload`` is ``(index, job, fault, in_process)``; the transport
-    tuple is ``(index, activity_dict, windows_dicts, cycles, duration,
-    pid, error)`` -- ``windows_dicts`` is None for untraced jobs and the
-    :func:`~repro.telemetry.windows_to_dicts` form for traced ones.
+    tuple is ``(index, activity_dict, windows_dicts, diagnostics,
+    cycles, duration, pid, error)`` -- ``windows_dicts`` is None for
+    untraced jobs and the :func:`~repro.telemetry.windows_to_dicts`
+    form for traced ones; ``diagnostics`` is None for unsanitized jobs
+    and the sanitizer's :class:`~repro.analysis.Diagnostic` list (plain
+    picklable dataclasses) for sanitized ones.
     """
     index, job, fault, in_process = payload
     start = time.perf_counter()
@@ -312,10 +315,12 @@ def _execute_job(payload):
         if out.windows is not None:
             from ..telemetry import windows_to_dicts
             windows = windows_to_dicts(out.windows)
-        return (index, out.activity.as_dict(), windows, float(out.cycles),
+        return (index, out.activity.as_dict(), windows,
+                getattr(out, "diagnostics", None), float(out.cycles),
                 time.perf_counter() - start, os.getpid(), None)
     except Exception:  # noqa: BLE001 -- surfaced via RunnerError
-        return (index, None, None, 0.0, time.perf_counter() - start,
+        return (index, None, None, None, 0.0,
+                time.perf_counter() - start,
                 os.getpid(), traceback.format_exc())
 
 
@@ -434,8 +439,8 @@ def run_jobs(jobs: Sequence[SimJob],
         fault_log[index].append(event)
         return event
 
-    def record_success(index: int, act_dict, windows_dicts, cycles: float,
-                       duration: float, pid: int) -> None:
+    def record_success(index: int, act_dict, windows_dicts, diagnostics,
+                       cycles: float, duration: float, pid: int) -> None:
         job = jobs[index]
         from .cache import _report_from_dict
         activity = _report_from_dict(act_dict)
@@ -454,7 +459,8 @@ def run_jobs(jobs: Sequence[SimJob],
                            attempts=len(durations[index]) + 1,
                            faults=list(fault_log[index]),
                            backend_used=backend_used,
-                           promised_error=promised)
+                           promised_error=promised,
+                           diagnostics=diagnostics)
         results[index] = result
         notify(result)
 
@@ -465,13 +471,16 @@ def run_jobs(jobs: Sequence[SimJob],
     # Resolve cache hits up front, in the calling process.  A corrupt
     # entry degrades to a miss (the simulation re-runs and re-stores),
     # recorded as a cache-corrupt fault on the eventual result.
+    # Sanitized jobs never hit: findings are not part of the cached
+    # artifact, so they always run fresh -- the (byte-identical) result
+    # is still stored under the shared key afterwards.
     for i, job in enumerate(jobs):
         if store is not None:
             try:
                 keys[i] = job_key(job)
             except Exception:  # noqa: BLE001 -- the attempt reports it
                 keys[i] = None  # the worker will fail with a clean traceback
-            if keys[i] is not None:
+            if keys[i] is not None and not job.sanitize:
                 if _fault_for(plan, job.label, 1) == "corrupt":
                     path = store.path_for(keys[i])
                     if path.exists():
@@ -500,7 +509,7 @@ def run_jobs(jobs: Sequence[SimJob],
             index, attempt = queue.popleft()
             fault = _fault_for(plan, jobs[index].label, attempt)
             out = _execute_job((index, jobs[index], fault, True))
-            _, act, win, cycles, duration, _, error = out
+            _, act, win, diags, cycles, duration, _, error = out
             limit = job_timeout(index)
             if error is not None:
                 record_failure(add_event(index, "exception", tb=error,
@@ -522,7 +531,8 @@ def run_jobs(jobs: Sequence[SimJob],
                     time.sleep(backoff(attempt))
                     queue.appendleft((index, attempt + 1))
             else:
-                record_success(index, act, win, cycles, duration, -1)
+                record_success(index, act, win, diags, cycles,
+                               duration, -1)
 
     def run_pool(queue: Deque[Tuple[int, int]]) -> bool:
         """Supervised pool executor; False means "degrade to serial".
@@ -651,14 +661,15 @@ def run_jobs(jobs: Sequence[SimJob],
                         out = None
                     if out is not None:
                         reap(task_id, recycle=True)
-                        _, act, win, cycles, duration, pid, error = out
+                        (_, act, win, diags, cycles, duration, pid,
+                         error) = out
                         if error is not None:
                             record_failure(add_event(
                                 task.index, "exception", tb=error,
                                 duration=duration))
                         else:
-                            record_success(task.index, act, win, cycles,
-                                           duration, pid)
+                            record_success(task.index, act, win, diags,
+                                           cycles, duration, pid)
                         nonlocal_state["consecutive_crashes"] = 0
                     elif not task.proc.is_alive():
                         exitcode = task.proc.exitcode

@@ -121,6 +121,14 @@ class SimJob:
             engine-wide default (``run_jobs(timeout_s=...)`` /
             ``$REPRO_JOB_TIMEOUT``).  Execution policy, not a simulation
             input -- deliberately *not* part of the cache key.
+        sanitize: Attach the runtime sanitizer
+            (:mod:`repro.sim.sanitizer`) to the run; findings land on
+            :attr:`JobResult.diagnostics`.  A pure observer, like
+            ``timeout_s`` deliberately *not* part of the cache key: the
+            simulation result is byte-identical with or without it.
+            Sanitized jobs skip the cache *lookup* (the findings are
+            recomputed fresh) but still store their -- identical --
+            result under the shared key.
     """
 
     config: GPUConfig
@@ -133,6 +141,7 @@ class SimJob:
     backend_options: Optional[Dict[str, object]] = None
     error_budget: Optional[float] = None
     timeout_s: Optional[float] = None
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.kernel is None and self.launch is None:
@@ -172,6 +181,7 @@ class SimJob:
                              else dict(request.backend_options)),
             error_budget=request.error_budget,
             timeout_s=request.timeout_s,
+            sanitize=request.sanitize,
         )
 
     def to_request(self) -> "SimRequest":
@@ -218,10 +228,14 @@ class SimJob:
         if self.trace_interval is not None:
             from ..telemetry import ActivityTracer
             tracer = ActivityTracer(self.trace_interval)
+        kwargs: Dict[str, object] = dict(self.backend_options or {})
+        if self.sanitize:
+            backend.check_sanitize(True)
+            kwargs["sanitize"] = True
         return backend.simulate(self.config, self.resolve_launch(),
                                 max_cycles=self.max_cycles,
                                 tracer=tracer,
-                                **(self.backend_options or {}))
+                                **kwargs)
 
 
 @dataclass
@@ -262,6 +276,10 @@ class JobResult:
     backend_used: str = ""
     promised_error: Optional[float] = None
     achieved_error: Optional[float] = None
+    #: Runtime-sanitizer findings (:class:`repro.analysis.Diagnostic`)
+    #: for jobs submitted with ``sanitize=True``; ``None`` otherwise.
+    #: Never cached -- sanitized jobs always recompute them fresh.
+    diagnostics: Optional[List] = field(default=None, repr=False)
 
     @property
     def label(self) -> str:

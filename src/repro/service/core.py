@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..analysis import Severity, analyze_launch
-from ..backends import get_backend, resolve_backend
+from ..backends import BackendError, get_backend, resolve_backend
 from ..core.gpusimpow import GPUSimPow
 from ..request import SimRequest
 from ..runner import AUTO, ResultCache, RunnerError, run_jobs
@@ -121,9 +121,17 @@ class Submission:
 
 @dataclass
 class SimTask:
-    """One in-flight simulation, shared by all same-digest submissions."""
+    """One in-flight simulation, shared by all same-key submissions.
+
+    ``digest`` is the request's content digest (the cache key);
+    ``key`` is the dedup/scheduling identity -- the digest plus the
+    sanitize flag, because a sanitized run produces a payload
+    (diagnostics) an unsanitized task of the same digest cannot
+    provide, so the two must never share a task.
+    """
 
     digest: str
+    key: str
     request: SimRequest
     priority: int
     seq: int
@@ -269,8 +277,10 @@ class PowerService:
             # Validates the backend name -- including resolving "auto"
             # through the fidelity ladder, so an unsatisfiable budget
             # or unknown name is rejected before any queue is spent.
-            resolve_backend(request)
-        except (ValueError, KeyError, TypeError) as exc:
+            resolved, _ = resolve_backend(request)
+            if request.sanitize:
+                get_backend(resolved).check_sanitize(True)
+        except (ValueError, KeyError, TypeError, BackendError) as exc:
             return 400, {"error": "bad-request", "message": str(exc)}
         try:
             priority = int(body.get("priority", 0))
@@ -299,13 +309,17 @@ class PowerService:
                sub_id: Optional[str] = None,
                journal: bool = True) -> tuple:
         digest = request.digest()
+        task_key = digest + ("+sanitize" if request.sanitize else "")
         if sub_id is None:
             self._serial += 1
             sub_id = f"s{self._serial:06d}"
         sub = Submission(sub_id=sub_id, tenant=tenant, digest=digest,
                          state="queued")
         # Cache probe: instant answer, no quota or queue spent.
-        if self.cache is not None and digest not in self._inflight:
+        # Sanitized submissions always execute -- the cache stores only
+        # the (byte-identical) unsanitized result, not the diagnostics.
+        if self.cache is not None and task_key not in self._inflight \
+                and not request.sanitize:
             hit = self.cache.get(request.to_job(), key=digest)
             if hit is not None:
                 payload = self._build_payload(
@@ -345,7 +359,7 @@ class PowerService:
                 "quota": self.tenant_quota,
             }
 
-        task = self._inflight.get(digest)
+        task = self._inflight.get(task_key)
         if task is not None:
             sub.deduped = True
             sub.state = task.state
@@ -361,12 +375,12 @@ class PowerService:
                                f"(limit {self.queue_limit})",
                 }
             self._seq += 1
-            task = SimTask(digest=digest, request=request,
+            task = SimTask(digest=digest, key=task_key, request=request,
                            priority=priority, seq=self._seq)
             task.submissions.append(sub)
             sub.task = task
-            self._inflight[digest] = task
-            heapq.heappush(self._heap, (-priority, self._seq, digest))
+            self._inflight[task_key] = task
+            heapq.heappush(self._heap, (-priority, self._seq, task_key))
         self._submissions[sub_id] = sub
         if journal and self._journal is not None:
             self._journal.record_submit(sub_id, tenant, digest,
@@ -475,8 +489,8 @@ class PowerService:
         traced: List[SimTask] = []
         batch: List[SimTask] = []
         while free > 0 and self._heap:
-            _, _, digest = heapq.heappop(self._heap)
-            task = self._inflight.get(digest)
+            _, _, key = heapq.heappop(self._heap)
+            task = self._inflight.get(key)
             if task is None or task.state != "queued":
                 continue
             task.state = "running"
@@ -522,16 +536,16 @@ class PowerService:
         runner's :class:`JobFailure` records, which only carry a label)
         map back unambiguously even when two requests share a kernel.
         """
-        by_digest = {t.digest: t for t in tasks}
+        by_key = {t.key: t for t in tasks}
         jobs = []
         for task in tasks:
             job = task.request.to_job()
-            job.tag = task.digest
+            job.tag = task.key
             jobs.append(job)
 
         def on_outcome(done: int, total: int, outcome) -> None:
             if isinstance(outcome, JobResult):
-                task = by_digest.get(outcome.job.tag)
+                task = by_key.get(outcome.job.tag)
                 if task is None:
                     return
                 payload = self._build_payload(
@@ -539,12 +553,13 @@ class PowerService:
                     cached=outcome.cached,
                     backend_used=outcome.backend_used,
                     promised=outcome.promised_error,
-                    achieved=outcome.achieved_error)
+                    achieved=outcome.achieved_error,
+                    diagnostics=outcome.diagnostics)
                 loop.call_soon_threadsafe(self._finish_task, task,
                                           payload, None,
                                           outcome.cached, False)
             else:
-                task = by_digest.get(outcome.label)
+                task = by_key.get(outcome.label)
                 if task is None:
                     return
                 failure = {"error": "simulation-failed",
@@ -588,7 +603,7 @@ class PowerService:
         """Worker thread: simulate with a live window-forwarding sink."""
         request = task.request
         job = request.to_job()
-        if self.cache is not None:
+        if self.cache is not None and not request.sanitize:
             hit = self.cache.get(job, key=task.digest)
             if hit is not None:
                 for window in hit.windows or []:
@@ -603,17 +618,19 @@ class PowerService:
         resolved, promised = resolve_backend(request)
         sink = _ForwardingSink(loop, self._push_window, task)
         tracer = ActivityTracer(request.trace_interval, sink=sink)
+        extra: Dict[str, Any] = dict(request.backend_options or {})
+        if request.sanitize:
+            extra["sanitize"] = True
         output = get_backend(resolved).simulate(
             request.config, request.resolve_launch(),
-            max_cycles=request.max_cycles, tracer=tracer,
-            **(request.backend_options or {}))
+            max_cycles=request.max_cycles, tracer=tracer, **extra)
         if self.cache is not None:
             self.cache.put(job, output.activity, output.cycles,
                            key=task.digest, windows=output.windows)
-        payload = self._build_payload(request, output.activity,
-                                      output.windows, cached=False,
-                                      backend_used=resolved,
-                                      promised=promised)
+        payload = self._build_payload(
+            request, output.activity, output.windows, cached=False,
+            backend_used=resolved, promised=promised,
+            diagnostics=getattr(output, "diagnostics", None))
         return payload, True
 
     # -- completion -----------------------------------------------------------
@@ -647,7 +664,7 @@ class PowerService:
             self.stats.cache_hits += 1
         if not ok:
             self.stats.failures += 1
-        self._inflight.pop(task.digest, None)
+        self._inflight.pop(task.key, None)
         for sub in task.submissions:
             sub.state = task.state
             sub.payload = payload
@@ -669,15 +686,18 @@ class PowerService:
     def _build_payload(self, request: SimRequest, activity, windows,
                        cached: bool, backend_used: str = "",
                        promised: Optional[float] = None,
-                       achieved: Optional[float] = None
-                       ) -> Dict[str, Any]:
+                       achieved: Optional[float] = None,
+                       diagnostics=None) -> Dict[str, Any]:
         """Power-evaluate one finished simulation into a response body.
 
         ``backend_used``/``promised``/``achieved`` carry the fidelity
         ladder's provenance off the :class:`~repro.runner.JobResult`
         (the resolution of ``"auto"``, the error the chosen tier
         promised, and -- once an exact run of the same digest exists --
-        the error it actually achieved).
+        the error it actually achieved).  ``diagnostics`` is the
+        runtime sanitizer's findings; a sanitized request always
+        carries a ``sanitizer`` object so clients can distinguish
+        "clean" from "not sanitized".
         """
         backend_used = backend_used or request.backend
         result = GPUSimPow(request.config).run(
@@ -706,4 +726,10 @@ class PowerService:
             payload["promised_error"] = float(promised)
         if achieved is not None:
             payload["achieved_error"] = float(achieved)
+        if request.sanitize:
+            found = list(diagnostics or [])
+            payload["sanitizer"] = {
+                "clean": not found,
+                "diagnostics": [d.to_dict() for d in found],
+            }
         return payload

@@ -79,6 +79,10 @@ class Core:
         self.regfile = RegisterFile(config)
         self.exec_units = ExecutionUnits(config)
         self.ldst: Optional[LoadStoreUnit] = None
+        #: Optional runtime sanitizer (:mod:`repro.sim.sanitizer`).
+        #: Pure observer: hooks only read state, so results are
+        #: bit-identical with or without one attached.
+        self.sanitizer = None
         # Launch context (set by prepare()).
         self.kernel: Optional[Kernel] = None
         self.launch: Optional[KernelLaunch] = None
@@ -370,6 +374,11 @@ class Core:
         self.regfile.read_operands(n_src, lanes)
         self.regfile.dispatch()
         smem = self.blocks[warp.block_slot].smem
+        if self.sanitizer is not None:
+            # Before execute: an access about to fault out of bounds is
+            # still recorded, so the IndexError carries the finding.
+            self.sanitizer.observe_access(warp, inst, pc, ctx, mask,
+                                          smem)
         completion = self.ldst.execute(inst, ctx, mask, smem, now)
         dst = inst.writes_reg
         if dst is not None:
@@ -429,6 +438,8 @@ class Core:
             for w in block.warps:
                 if not w.done:
                     w.at_barrier = False
+            if self.sanitizer is not None:
+                self.sanitizer.on_barrier_release(block.block_id)
 
     def _finish_warp(self, warp: Warp) -> None:
         warp.done = True
@@ -452,6 +463,8 @@ class Core:
         self.warps = [w for w in self.warps if w.block_slot != block.block_id]
         self._rr = 0
         self.blocks_executed += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_block_retire(block.block_id)
 
     def _reap_finished(self) -> None:
         for block in list(self.blocks.values()):

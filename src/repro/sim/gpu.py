@@ -22,7 +22,7 @@ import numpy as np
 from ..isa.launch import KernelLaunch
 from .activity import ActivityReport
 from .config import GPUConfig
-from .core import Core
+from .core import Core, SimulationDeadlock
 from .memsys import MemorySystem
 from .shard import ShardEngine, accumulate_core, accumulate_memsys
 
@@ -46,6 +46,11 @@ class SimulationOutput:
     cycles: float
     windows: Optional[List["ActivityWindow"]] = field(default=None,
                                                       repr=False)
+    #: Runtime-sanitizer findings (:class:`repro.analysis.Diagnostic`
+    #: records) for sanitized runs; ``None`` when no sanitizer rode
+    #: along.  Never cached: the cached artifact is the unsanitized
+    #: result, which is byte-identical by construction.
+    diagnostics: Optional[List] = field(default=None, repr=False)
 
     @property
     def runtime_s(self) -> float:
@@ -97,7 +102,8 @@ class GPU:
 
     def run(self, launch: KernelLaunch, max_cycles: float = 5e8,
             gmem: Optional[np.ndarray] = None,
-            tracer: Optional["ActivityTracer"] = None) -> SimulationOutput:
+            tracer: Optional["ActivityTracer"] = None,
+            sanitizer=None) -> SimulationOutput:
         """Simulate ``launch`` to completion.
 
         Args:
@@ -109,6 +115,15 @@ class GPU:
                 window boundary and the output carries the per-window
                 deltas.  Tracing only *reads* counters, so simulation
                 results are bit-identical with or without it.
+            sanitizer: Optional :class:`~repro.sim.sanitizer.Sanitizer`
+                attached to every core for the duration of the run.
+                Like tracing, sanitizing only observes: activity,
+                timing and the memory image are bit-identical with or
+                without it.  Findings land on the output's
+                ``diagnostics``; a run aborting with an ``IndexError``
+                or :class:`~repro.sim.core.SimulationDeadlock` carries
+                them on the exception instead
+                (``exc.sanitizer_diagnostics``).
         """
         config = self.config
         if gmem is None:
@@ -125,11 +140,30 @@ class GPU:
             tracer.begin(lambda t: self._collect(launch, t),
                          config=config, launch=launch)
             engine.tracer = tracer
+        if sanitizer is not None:
+            for core in self.cores:
+                core.sanitizer = sanitizer
 
         engine.extend_queue(range(launch.grid.count))
         engine.place_initial()
         engine.seed()
-        engine.step_epoch(None, max_cycles, launch.kernel.name)
+        try:
+            engine.step_epoch(None, max_cycles, launch.kernel.name)
+        except SimulationDeadlock as exc:
+            if sanitizer is not None:
+                from .sanitizer import attach_diagnostics
+                sanitizer.on_deadlock(str(exc))
+                raise attach_diagnostics(exc, sanitizer.finalize())
+            raise
+        except IndexError as exc:
+            if sanitizer is not None:
+                from .sanitizer import attach_diagnostics
+                raise attach_diagnostics(exc, sanitizer.finalize())
+            raise
+        finally:
+            if sanitizer is not None:
+                for core in self.cores:
+                    core.sanitizer = None
 
         if engine.unplaced:
             raise RuntimeError("scheduler finished with unplaced blocks")
@@ -146,6 +180,8 @@ class GPU:
             gmem=gmem,
             cycles=final_time,
             windows=windows,
+            diagnostics=(None if sanitizer is None
+                         else sanitizer.finalize()),
         )
 
     # -- aggregation ---------------------------------------------------------------

@@ -1,0 +1,393 @@
+"""Runtime memory sanitizer for the cycle engine.
+
+A :class:`Sanitizer` rides along a simulation as shadow state that only
+*observes* -- it never touches registers, memories or timing, so a
+sanitized run's :class:`~repro.sim.gpu.SimulationOutput` is
+byte-identical to an unsanitized one.  Findings are emitted as the
+static analyzer's :class:`~repro.analysis.diagnostics.Diagnostic`
+records so CLI/service/CI consumers render them with the same
+machinery, under four rules:
+
+* **S001** -- read of a shared/global word the run never initialised
+  (the dynamic twin of the static ``U001`` lint);
+* **S002** -- out-of-bounds shared/global access, recorded *before* the
+  load/store unit raises, so the aborting ``IndexError`` still carries
+  the structured finding;
+* **S003** -- a dynamic shared-memory race: two threads of one block
+  touch the same word within one barrier interval, at least one a
+  store (the runtime twin of the static ``R001``--``R003`` rules);
+* **S004** -- the barrier-deadlock watchdog, armed when the engine
+  raises :class:`~repro.sim.core.SimulationDeadlock`.
+
+**Order independence.**  The serial engine, the one-shard
+``parallel_cycle`` path and the multi-shard path interleave warps
+differently, yet sanitized diagnostics must be identical across all of
+them (the determinism tests pin this).  Every check is therefore
+computed from access *sets*, never from access order: races are judged
+from the set of ``(pc, thread, word, is_store)`` tuples a barrier
+interval accumulated, and uninitialized reads from per-PC read sets
+minus the union of every word the block (or run) ever wrote.  A read
+that precedes its write inside the same interval is deliberately *not*
+flagged -- that is the price of order independence, and it matches the
+whole-kernel set semantics the static ``U001`` rule grades against.
+
+Sharded runs export their shadow state (:meth:`Sanitizer.export_state`)
+and the coordinator folds every shard into one fresh sanitizer
+(:meth:`Sanitizer.absorb`); blocks never span shards, so only the
+global-memory sets need cross-shard union.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.diagnostics import Diagnostic, diag
+from ..isa.launch import KernelLaunch
+from .functional import memory_addresses
+
+#: How many example word addresses a diagnostic's ``data`` carries.
+EXAMPLE_WORDS = 8
+
+
+def attach_diagnostics(exc: BaseException,
+                       diagnostics: List[Diagnostic]) -> BaseException:
+    """Hang sanitizer findings off an aborting exception.
+
+    Out-of-bounds accesses and deadlocks end the simulation with the
+    same exception an unsanitized run raises; the findings gathered up
+    to that point travel on the exception object instead of a result.
+    """
+    exc.sanitizer_diagnostics = diagnostics  # type: ignore[attr-defined]
+    return exc
+
+
+class _BlockShadow:
+    """Shadow state of one resident thread block's shared memory."""
+
+    __slots__ = ("smem_len", "written", "reads", "log")
+
+    def __init__(self, smem_len: int) -> None:
+        self.smem_len = smem_len
+        #: Words any thread of the block ever stored (whole lifetime).
+        self.written = np.zeros(smem_len, dtype=bool)
+        #: pc -> words that pc's loads touched (whole lifetime).
+        self.reads: Dict[int, np.ndarray] = {}
+        #: Current barrier interval's accesses:
+        #: ``(pc, is_store, words, tids)`` per executed instruction.
+        self.log: List[Tuple[int, bool, np.ndarray, np.ndarray]] = []
+
+
+class Sanitizer:
+    """Shadow-state observer for one kernel launch.
+
+    Attach to every :class:`~repro.sim.core.Core` of the engine
+    (``core.sanitizer = sanitizer``); the core calls
+    :meth:`observe_access` as each memory instruction issues,
+    :meth:`on_barrier_release` when a block's barrier opens and
+    :meth:`on_block_retire` when a block leaves its core.  After the
+    run, :meth:`finalize` returns the canonically-ordered findings.
+    """
+
+    def __init__(self, launch: KernelLaunch,
+                 gmem_words: Optional[int] = None) -> None:
+        self.kernel = launch.kernel.name
+        self.gmem_words = int(gmem_words if gmem_words is not None
+                              else launch.gmem_words)
+        #: Words the launch's initial image covers (defined data).
+        self.gmem_init = np.zeros(self.gmem_words, dtype=bool)
+        for offset, arr in launch.globals_init.items():
+            self.gmem_init[offset:offset + len(arr)] = True
+        self.gmem_written = np.zeros(self.gmem_words, dtype=bool)
+        #: pc -> global words that pc's loads touched.
+        self.gmem_reads: Dict[int, np.ndarray] = {}
+        self._blocks: Dict[int, _BlockShadow] = {}
+        #: (kind, store_pcs, load_pcs) -> {"words", "blocks", "count"}.
+        self._races: Dict[Tuple[str, Tuple[int, ...], Tuple[int, ...]],
+                          Dict[str, Any]] = {}
+        #: pc -> {"words", "blocks"} for uninitialized shared reads.
+        self._uninit_shared: Dict[int, Dict[str, Any]] = {}
+        #: (pc, space) -> {"lo", "hi", "limit", "count"}.
+        self._oob: Dict[Tuple[int, str], Dict[str, Any]] = {}
+        self._deadlocks: List[str] = []
+        self._finalized: Optional[List[Diagnostic]] = None
+
+    # -- engine hooks ---------------------------------------------------------
+
+    def observe_access(self, warp, inst, pc: int, ctx, mask: np.ndarray,
+                       smem: np.ndarray) -> None:
+        """Record one memory instruction's lane accesses.
+
+        Called by :meth:`Core._issue_mem` immediately before the
+        load/store unit executes, so an access that is about to fault
+        out of bounds is still recorded.
+        """
+        space = inst.mem_space
+        if space not in ("global", "shared"):
+            return
+        addrs = memory_addresses(inst, ctx, mask)
+        if addrs.size == 0:
+            return
+        addrs = addrs.astype(np.int64, copy=False)
+        limit = len(smem) if space == "shared" else self.gmem_words
+        bad = (addrs < 0) | (addrs >= limit)
+        keep = None
+        if bad.any():
+            self._record_oob(pc, space, addrs[bad], limit)
+            keep = ~bad
+            addrs = addrs[keep]
+            if addrs.size == 0:
+                return
+        if space == "global":
+            if inst.is_store:
+                self.gmem_written[addrs] = True
+            else:
+                hits = self.gmem_reads.get(pc)
+                if hits is None:
+                    hits = self.gmem_reads.setdefault(
+                        pc, np.zeros(self.gmem_words, dtype=bool))
+                hits[addrs] = True
+            return
+        # Shared: per-block shadow plus the interval race log.
+        shadow = self._blocks.get(warp.block_id)
+        if shadow is None:
+            shadow = _BlockShadow(len(smem))
+            self._blocks[warp.block_id] = shadow
+        if inst.is_store:
+            shadow.written[addrs] = True
+        else:
+            hits = shadow.reads.get(pc)
+            if hits is None:
+                hits = shadow.reads.setdefault(
+                    pc, np.zeros(shadow.smem_len, dtype=bool))
+            hits[addrs] = True
+        tids = ctx.specials["tid"][mask]
+        if keep is not None:
+            tids = tids[keep]
+        shadow.log.append((pc, bool(inst.is_store), addrs,
+                           tids.astype(np.int64)))
+
+    def on_barrier_release(self, block_id: int) -> None:
+        """A block's barrier opened: close its race interval."""
+        shadow = self._blocks.get(block_id)
+        if shadow is not None:
+            self._analyze_interval(shadow, block_id)
+            shadow.log = []
+
+    def on_block_retire(self, block_id: int) -> None:
+        """A block left its core: close its final interval and judge
+        its whole-lifetime uninitialized shared reads."""
+        shadow = self._blocks.pop(block_id, None)
+        if shadow is not None:
+            self._analyze_interval(shadow, block_id)
+            self._analyze_uninit_shared(shadow, block_id)
+
+    def on_deadlock(self, message: str) -> None:
+        """The engine detected a barrier deadlock (S004 watchdog)."""
+        self._deadlocks.append(str(message))
+
+    # -- set-based analyses ---------------------------------------------------
+
+    def _record_oob(self, pc: int, space: str, bad: np.ndarray,
+                    limit: int) -> None:
+        rec = self._oob.get((pc, space))
+        lo, hi = int(bad.min()), int(bad.max())
+        if rec is None:
+            self._oob[(pc, space)] = {"lo": lo, "hi": hi,
+                                      "limit": limit,
+                                      "count": int(bad.size)}
+        else:
+            rec["lo"] = min(rec["lo"], lo)
+            rec["hi"] = max(rec["hi"], hi)
+            rec["count"] += int(bad.size)
+
+    def _analyze_interval(self, shadow: _BlockShadow,
+                          block_id: int) -> None:
+        """Judge one barrier interval's access set for races.
+
+        Pure set logic: sort the interval's ``(word, tid, pc, store)``
+        tuples by word and, per word touched by at least one store,
+        look for a second thread -- two distinct storing threads is a
+        write-write race, a loading thread outside the storing set is a
+        read-write race.  Findings aggregate under
+        ``(kind, store_pcs, load_pcs)`` so identical races across
+        intervals and blocks collapse into one diagnostic.
+        """
+        if not shadow.log:
+            return
+        words = np.concatenate([e[2] for e in shadow.log])
+        tids = np.concatenate([e[3] for e in shadow.log])
+        pcs = np.concatenate(
+            [np.full(e[2].size, e[0], dtype=np.int64)
+             for e in shadow.log])
+        stores = np.concatenate(
+            [np.full(e[2].size, e[1], dtype=bool) for e in shadow.log])
+        order = np.argsort(words, kind="stable")
+        words, tids, pcs, stores = (words[order], tids[order],
+                                    pcs[order], stores[order])
+        uniq, starts = np.unique(words, return_index=True)
+        bounds = np.append(starts, words.size)
+        for k in range(uniq.size):
+            lo, hi = bounds[k], bounds[k + 1]
+            st = stores[lo:hi]
+            if not st.any():
+                continue
+            word = int(uniq[k])
+            g_tids, g_pcs = tids[lo:hi], pcs[lo:hi]
+            s_tids = np.unique(g_tids[st])
+            s_pcs = np.unique(g_pcs[st])
+            if s_tids.size >= 2:
+                self._record_race("write-write", s_pcs, (), word,
+                                  block_id)
+            l_sel = ~st
+            if l_sel.any():
+                foreign = l_sel & ~np.isin(g_tids, s_tids)
+                if foreign.any():
+                    self._record_race("read-write", s_pcs,
+                                      np.unique(g_pcs[foreign]), word,
+                                      block_id)
+
+    def _record_race(self, kind: str, store_pcs, load_pcs, word: int,
+                     block_id: int) -> None:
+        key = (kind, tuple(int(p) for p in store_pcs),
+               tuple(int(p) for p in load_pcs))
+        rec = self._races.get(key)
+        if rec is None:
+            rec = self._races.setdefault(
+                key, {"words": set(), "blocks": set(), "count": 0})
+        rec["words"].add(word)
+        rec["blocks"].add(int(block_id))
+        rec["count"] += 1
+
+    def _analyze_uninit_shared(self, shadow: _BlockShadow,
+                               block_id: int) -> None:
+        for pc, hits in shadow.reads.items():
+            uninit = hits & ~shadow.written
+            if uninit.any():
+                rec = self._uninit_shared.get(pc)
+                if rec is None:
+                    rec = self._uninit_shared.setdefault(
+                        pc, {"words": set(), "blocks": set()})
+                rec["words"].update(
+                    int(w) for w in np.flatnonzero(uninit))
+                rec["blocks"].add(int(block_id))
+
+    # -- sharding -------------------------------------------------------------
+
+    def _flush_blocks(self) -> None:
+        """Close every still-resident block (aborted or epoch-cut runs)."""
+        for block_id in sorted(self._blocks):
+            self.on_block_retire(block_id)
+
+    def export_state(self) -> Dict[str, Any]:
+        """Picklable shadow state for cross-shard merging."""
+        self._flush_blocks()
+        return {
+            "races": {key: {"words": sorted(rec["words"]),
+                            "blocks": sorted(rec["blocks"]),
+                            "count": rec["count"]}
+                      for key, rec in self._races.items()},
+            "uninit_shared": {pc: {"words": sorted(rec["words"]),
+                                   "blocks": sorted(rec["blocks"])}
+                              for pc, rec in
+                              self._uninit_shared.items()},
+            "oob": dict(self._oob),
+            "deadlocks": list(self._deadlocks),
+            "gmem_written": self.gmem_written,
+            "gmem_reads": dict(self.gmem_reads),
+        }
+
+    def absorb(self, state: Dict[str, Any]) -> None:
+        """Fold one shard's exported shadow state into this sanitizer."""
+        for key, rec in state["races"].items():
+            mine = self._races.get(key)
+            if mine is None:
+                mine = self._races.setdefault(
+                    key, {"words": set(), "blocks": set(), "count": 0})
+            mine["words"].update(rec["words"])
+            mine["blocks"].update(rec["blocks"])
+            mine["count"] += rec["count"]
+        for pc, rec in state["uninit_shared"].items():
+            mine = self._uninit_shared.get(pc)
+            if mine is None:
+                mine = self._uninit_shared.setdefault(
+                    pc, {"words": set(), "blocks": set()})
+            mine["words"].update(rec["words"])
+            mine["blocks"].update(rec["blocks"])
+        for key, rec in state["oob"].items():
+            have = self._oob.get(key)
+            if have is None:
+                self._oob[key] = dict(rec)
+            else:
+                have["lo"] = min(have["lo"], rec["lo"])
+                have["hi"] = max(have["hi"], rec["hi"])
+                have["count"] += rec["count"]
+        self._deadlocks.extend(state["deadlocks"])
+        self.gmem_written |= state["gmem_written"]
+        for pc, hits in state["gmem_reads"].items():
+            mine = self.gmem_reads.get(pc)
+            if mine is None:
+                self.gmem_reads[pc] = hits.copy()
+            else:
+                mine |= hits
+
+    # -- reporting ------------------------------------------------------------
+
+    def finalize(self) -> List[Diagnostic]:
+        """All findings, canonically ordered (engine-independent)."""
+        if self._finalized is not None:
+            return self._finalized
+        self._flush_blocks()
+        out: List[Diagnostic] = []
+        for (pc, space) in sorted(self._oob):
+            rec = self._oob[(pc, space)]
+            out.append(diag(
+                "S002", self.kernel,
+                f"{space}-memory access out of bounds: word addresses "
+                f"{rec['lo']}..{rec['hi']} outside [0, {rec['limit']})",
+                pc=pc, space=space, lo=rec["lo"], hi=rec["hi"],
+                limit=rec["limit"], lanes=rec["count"]))
+        for key in sorted(self._races):
+            kind, store_pcs, load_pcs = key
+            rec = self._races[key]
+            words = sorted(rec["words"])
+            anchor = min(store_pcs + load_pcs)
+            where = f"store pc(s) {list(store_pcs)}"
+            if load_pcs:
+                where += f" vs load pc(s) {list(load_pcs)}"
+            out.append(diag(
+                "S003", self.kernel,
+                f"{kind} race on {len(words)} shared word(s) within a "
+                f"barrier interval ({where})",
+                pc=anchor, kind=kind, store_pcs=list(store_pcs),
+                load_pcs=list(load_pcs),
+                words=words[:EXAMPLE_WORDS], n_words=len(words),
+                n_blocks=len(rec["blocks"]), incidents=rec["count"]))
+        for pc in sorted(self._uninit_shared):
+            rec = self._uninit_shared[pc]
+            words = sorted(rec["words"])
+            out.append(diag(
+                "S001", self.kernel,
+                f"load reads {len(words)} shared word(s) no thread of "
+                f"the block ever wrote",
+                pc=pc, space="shared", words=words[:EXAMPLE_WORDS],
+                n_words=len(words), n_blocks=len(rec["blocks"])))
+        undef = ~self.gmem_written & ~self.gmem_init
+        for pc in sorted(self.gmem_reads):
+            uninit = self.gmem_reads[pc] & undef
+            if uninit.any():
+                words = np.flatnonzero(uninit)
+                out.append(diag(
+                    "S001", self.kernel,
+                    f"load reads {words.size} global word(s) neither "
+                    f"the launch image nor any store initialised",
+                    pc=pc, space="global",
+                    words=[int(w) for w in words[:EXAMPLE_WORDS]],
+                    n_words=int(words.size)))
+        for message in self._deadlocks:
+            out.append(diag("S004", self.kernel, message))
+        out.sort(key=lambda d: (d.rule, d.pc if d.pc is not None else -1,
+                                d.message))
+        self._finalized = out
+        return out

@@ -22,6 +22,7 @@ from repro.isa import KernelBuilder, Sreg
 from repro.isa.instructions import Instruction
 from repro.isa.kernel import Kernel, KernelVerificationError
 from repro.sim import gt240
+from repro.workloads import all_kernel_launches
 
 SHAPE32 = LaunchShape(n_threads=32)
 
@@ -277,11 +278,23 @@ class TestWorkloadProperties:
 # ---------------------------------------------------------------------------
 
 class TestCrossCheck:
-    @pytest.mark.parametrize("label", ["vectorAdd", "matrixMul"])
+    #: Pinned pair where both a check list and agreement are guaranteed.
+    COMPARABLE = ("vectorAdd", "matrixMul")
+
+    @pytest.mark.parametrize("label", COMPARABLE)
     def test_static_matches_dynamic(self, launches, gt240_config, label):
         cross = compare_static_dynamic(launches[label], gt240_config)
         assert cross.agree is True, cross.to_dict()
         assert cross.checks
+
+    @pytest.mark.parametrize(
+        "label", sorted(all_kernel_launches()))
+    def test_no_workload_disagrees(self, launches, gt240_config, label):
+        """Every bundled workload: wherever the static side is
+        comparable, prediction and observed counters must agree
+        (``agree`` is None when nothing was comparable)."""
+        cross = compare_static_dynamic(launches[label], gt240_config)
+        assert cross.agree is not False, cross.to_dict()
 
     def test_conflict_free_kernel_both_sides_zero(self, launches,
                                                   gt240_config):
@@ -291,6 +304,71 @@ class TestCrossCheck:
         coalescing = [c for c in payload["checks"]
                       if c["check"] == "global_txn_per_access"]
         assert coalescing and coalescing[0]["ok"]
+
+
+# ---------------------------------------------------------------------------
+# U001: provably uninitialized shared-memory reads.
+# ---------------------------------------------------------------------------
+
+class TestUninitShared:
+    def test_never_written_words_flagged(self):
+        kb = KernelBuilder("u_pos", smem_words=16)
+        t, v = kb.regs(2)
+        kb.mov(t, Sreg("tid"))
+        kb.lds(v, t)
+        kb.stg(v, t)
+        kb.exit()
+        result = analyze_kernel(kb.build(), LaunchShape(n_threads=16))
+        findings = [d for d in result.diagnostics if d.rule == "U001"]
+        assert findings
+        assert findings[0].severity == Severity.WARNING
+        assert findings[0].data["n_words"] == 16
+
+    def test_fully_initialized_is_clean(self):
+        kb = KernelBuilder("u_neg", smem_words=16)
+        t, v = kb.regs(2)
+        kb.mov(t, Sreg("tid"))
+        kb.sts(t, t)
+        kb.bar()
+        kb.lds(v, t)
+        kb.stg(v, t)
+        kb.exit()
+        result = analyze_kernel(kb.build(), LaunchShape(n_threads=16))
+        assert "U001" not in rules_of(result)
+
+    def test_partial_initialization_flags_the_tail(self):
+        kb = KernelBuilder("u_part", smem_words=16)
+        t, v = kb.regs(2)
+        p = kb.pred()
+        kb.mov(t, Sreg("tid"))
+        kb.setp("lt", p, t, 8)
+        kb.sts(t, t, guard=(p, True))
+        kb.bar()
+        kb.lds(v, t)
+        kb.stg(v, t)
+        kb.exit()
+        result = analyze_kernel(kb.build(), LaunchShape(n_threads=16))
+        findings = [d for d in result.diagnostics if d.rule == "U001"]
+        assert findings and findings[0].data["n_words"] == 8
+        assert min(findings[0].data["words"]) == 8
+
+    def test_unresolvable_store_makes_no_claim(self):
+        # The store's address comes from loaded data: the initialized
+        # region is unknowable, so the pass must stay silent (sound).
+        kb = KernelBuilder("u_bail", smem_words=16)
+        t, a, v = kb.regs(3)
+        kb.mov(t, Sreg("tid"))
+        kb.ldg(a, t)
+        kb.sts(t, a)
+        kb.bar()
+        kb.lds(v, t)
+        kb.stg(v, t)
+        kb.exit()
+        result = analyze_kernel(kb.build(), LaunchShape(n_threads=16))
+        assert "U001" not in rules_of(result)
+
+    def test_pass_is_registered(self):
+        assert "uninit-shared" in [p.name for p in default_passes()]
 
 
 # ---------------------------------------------------------------------------

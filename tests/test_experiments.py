@@ -14,7 +14,7 @@ class TestRegistry:
                                         "microbench", "statmodel",
                                         "divergence", "ablations",
                                         "powertrace", "backends",
-                                        "analysis", "fleet"}
+                                        "analysis", "fleet", "fuzz"}
 
     def test_every_experiment_has_interface(self):
         for module in ALL_EXPERIMENTS.values():

@@ -1,0 +1,128 @@
+"""Tests for the verified kernel fuzzer (repro.analysis.fuzz)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (RULE_GROUPS, RULE_PAIRS, Severity,
+                            analyze_kernel, grade_rules, shape_for_launch)
+from repro.analysis.fuzz import (FLAVORS, KernelFuzzer, format_report,
+                                 run_fuzz)
+from repro.sim import gt240
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One shared small corpus (module-scoped: the runs are the cost)."""
+    return run_fuzz(seed=11, count=40, config=gt240())
+
+
+class TestGenerator:
+    def test_cases_are_deterministic(self):
+        fuzzer = KernelFuzzer(5)
+        a, b = fuzzer.case(3), fuzzer.case(3)
+        assert a.flavor == b.flavor
+        assert a.launch.kernel.disassemble() == \
+            b.launch.kernel.disassemble()
+        assert a.launch.block.count == b.launch.block.count
+
+    def test_different_indices_differ(self):
+        fuzzer = KernelFuzzer(5)
+        names = {fuzzer.case(i).name for i in range(20)}
+        assert len(names) == 20
+
+    def test_all_flavors_reachable(self):
+        fuzzer = KernelFuzzer(0)
+        seen = {fuzzer.case(i).flavor for i in range(80)}
+        assert seen == {name for name, _ in FLAVORS}
+
+    def test_generated_kernels_pass_the_verifier(self):
+        fuzzer = KernelFuzzer(23)
+        config = gt240()
+        for i in range(30):
+            case = fuzzer.case(i)
+            result = analyze_kernel(
+                case.launch.kernel, shape_for_launch(case.launch, config))
+            assert not [d for d in result.diagnostics
+                        if d.rule.startswith("V")
+                        and d.severity >= Severity.ERROR], case.name
+
+
+class TestHarness:
+    def test_corpus_runs_to_count(self, report):
+        assert report.valid == 40
+        assert report.generated >= report.valid
+        assert len(report.records) == 40
+
+    def test_zero_differential_mismatches(self, report):
+        assert report.mismatches == []
+        assert report.gates["bit_exact"] is True
+
+    def test_race_recall_is_total(self, report):
+        assert report.gates["race_recall"] == 1.0
+        assert report.gates["ok"] is True
+
+    def test_matrix_covers_every_graded_rule(self, report):
+        assert set(report.matrix["rules"]) == set(RULE_PAIRS)
+        assert set(report.matrix["groups"]) == set(RULE_GROUPS)
+        assert report.matrix["cases"] == 40
+
+    def test_faulting_flavor_agrees_on_the_fault(self, report):
+        oob = [r for r in report.records if r["flavor"] == "oob"]
+        assert oob, "corpus produced no oob cases"
+        assert all(r["fault"] for r in oob)
+        assert all("S002" in r["dynamic_rules"] for r in oob)
+
+    def test_parallel_slice_was_checked(self, report):
+        assert report.parallel_checked > 0
+
+    def test_report_is_json_serializable(self, report):
+        encoded = json.loads(json.dumps(report.to_dict()))
+        assert encoded["gates"]["ok"] is True
+
+    def test_format_report_renders(self, report):
+        text = format_report(report)
+        assert "bit_exact=True" in text
+        assert "PASS" in text
+        assert "[races]" in text
+
+    def test_budget_cuts_generation_short(self):
+        small = run_fuzz(seed=2, count=10_000, budget_s=0.0,
+                         config=gt240())
+        assert small.valid < 10_000
+
+
+class TestGradeRules:
+    def test_true_positive(self):
+        matrix = grade_rules([{"static_rules": ["R001"],
+                               "dynamic_rules": ["S003"]}])
+        row = matrix["rules"]["R001"]
+        assert (row["tp"], row["fp"], row["fn"]) == (1, 0, 0)
+        assert row["precision"] == 1.0 and row["recall"] == 1.0
+
+    def test_false_positive(self):
+        matrix = grade_rules([{"static_rules": ["M003"],
+                               "dynamic_rules": []}])
+        row = matrix["rules"]["M003"]
+        assert (row["tp"], row["fp"], row["fn"]) == (0, 1, 0)
+        assert row["precision"] == 0.0 and row["recall"] is None
+
+    def test_false_negative(self):
+        matrix = grade_rules([{"static_rules": [],
+                               "dynamic_rules": ["S001"]}])
+        row = matrix["rules"]["U001"]
+        assert (row["tp"], row["fp"], row["fn"]) == (0, 0, 1)
+        assert row["recall"] == 0.0 and row["precision"] is None
+
+    def test_group_absorbs_any_paired_rule(self):
+        # R003 (undecidable) alone still counts as a race prediction.
+        matrix = grade_rules([{"static_rules": ["R003"],
+                               "dynamic_rules": ["S003"]}])
+        assert matrix["groups"]["races"]["tp"] == 1
+        assert matrix["groups"]["races"]["recall"] == 1.0
+
+    def test_empty_records(self):
+        matrix = grade_rules([])
+        assert matrix["cases"] == 0
+        for row in matrix["rules"].values():
+            assert row["precision"] is None and row["recall"] is None

@@ -16,7 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro import SimRequest
-from repro.isa import Dim3, KernelBuilder, KernelLaunch, Reg
+from repro.isa import Dim3, KernelBuilder, KernelLaunch, Reg, Sreg
 from repro.service import (Journal, PowerService, ServiceClient,
                            ServiceDaemon, ServiceError)
 from repro.sim import gt240
@@ -463,3 +463,82 @@ class TestGracefulShutdown:
             harness.stop()
             events = future.result(timeout=30)
         assert all(e["event"] != "result" for e in events)
+
+
+def uninit_request(**overrides):
+    """A kernel whose loads read never-written shared words (S001).
+
+    Static analysis flags it only with warnings (U001), so it passes
+    admission lint and reaches the simulator.
+    """
+    kb = KernelBuilder("svc_uninit", smem_words=16)
+    t = kb.reg()
+    v = kb.reg()
+    kb.mov(t, Sreg("tid"))
+    kb.lds(v, t)
+    kb.stg(v, t)
+    kb.exit()
+    launch = KernelLaunch(kernel=kb.build(), grid=Dim3(1),
+                          block=Dim3(16), gmem_words=64)
+    fields = dict(config=gt240(), launch=launch, kernel="svc_uninit",
+                  sanitize=True)
+    fields.update(overrides)
+    return SimRequest(**fields)
+
+
+class TestSanitizedSubmissions:
+    def test_findings_ride_the_result_payload(self, daemon_factory):
+        harness = daemon_factory()
+        response = harness.client.submit(uninit_request(), wait=True)
+        sanitizer = response["result"]["sanitizer"]
+        assert sanitizer["clean"] is False
+        assert any(d["rule"] == "S001"
+                   for d in sanitizer["diagnostics"])
+
+    def test_clean_kernel_reports_clean(self, daemon_factory):
+        harness = daemon_factory()
+        response = harness.client.submit(tiny_request(sanitize=True),
+                                         wait=True)
+        sanitizer = response["result"]["sanitizer"]
+        assert sanitizer == {"clean": True, "diagnostics": []}
+
+    def test_unsanitized_payload_has_no_sanitizer_block(
+            self, daemon_factory):
+        harness = daemon_factory()
+        response = harness.client.submit(tiny_request(), wait=True)
+        assert "sanitizer" not in response["result"]
+
+    def test_sanitized_never_answers_from_cache(self, daemon_factory,
+                                                tmp_path):
+        harness = daemon_factory(cache=str(tmp_path))
+        warm = harness.client.submit(tiny_request(), wait=True)
+        assert warm["cached"] is False
+        hit = harness.client.submit(tiny_request(), wait=True)
+        assert hit["cached"] is True
+        sanitized = harness.client.submit(tiny_request(sanitize=True),
+                                          wait=True)
+        assert sanitized["cached"] is False
+        assert sanitized["result"]["sanitizer"]["clean"] is True
+
+    def test_unsupported_backend_rejected_400(self, daemon_factory):
+        harness = daemon_factory()
+        with pytest.raises(ServiceError) as err:
+            harness.client.submit(
+                tiny_request(backend="analytical", sanitize=True))
+        assert err.value.status == 400
+
+    def test_sanitize_does_not_dedup_onto_plain_task(
+            self, daemon_factory):
+        # Same digest, different observer flag: the sanitized
+        # submission must get its own task (and its own payload).
+        harness = daemon_factory(max_parallel=1)
+        harness.client.pause()
+        plain = harness.client.submit(tiny_request(), wait=False)
+        sanitized = harness.client.submit(tiny_request(sanitize=True),
+                                          wait=False)
+        assert sanitized["deduped"] is False
+        harness.client.resume()
+        done = harness.client.wait(sanitized["submission"])
+        assert done["result"]["sanitizer"]["clean"] is True
+        plain_done = harness.client.wait(plain["submission"])
+        assert "sanitizer" not in plain_done["result"]
